@@ -1,0 +1,15 @@
+"""Fig. 3: global-stable load characterisation (fraction, addressing modes, distances)."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig3_global_stable_characterisation(benchmark, bench_runner):
+    result = run_once(benchmark, figures.fig3_global_stable_characterisation, bench_runner)
+    print("\n" + result["text"])
+    assert 0.0 < result["global_stable_fraction_avg"] < 1.0
+    # Client/Enterprise/Server are richer in stable loads than the SPEC suites.
+    by_suite = result["global_stable_fraction_by_suite"]
+    assert by_suite["Client"] > by_suite["FSPEC17"]
+    assert by_suite["Server"] > by_suite["ISPEC17"]

@@ -1,0 +1,11 @@
+"""Fig. 6: load-port utilisation and stable-load port blocking."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig6_load_port_utilisation(benchmark, bench_runner):
+    result = run_once(benchmark, figures.fig6_load_port_utilisation, bench_runner)
+    print("\n" + result["text"])
+    assert 0.0 < result["load_utilised_cycle_fraction"] < 1.0

@@ -1,0 +1,16 @@
+"""Fig. 7: performance headroom of Ideal Constable vs Ideal Stable LVP vs 2x load width."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig7_headroom(benchmark, bench_runner):
+    result = run_once(benchmark, figures.fig7_headroom, bench_runner)
+    print("\n" + result["text"])
+    geomean = result["geomean"]
+    # Ideal mechanisms never lose performance, and Ideal Constable at least
+    # matches the naive 2x-load-width scaling of the baseline.
+    assert geomean["ideal_constable"] >= 1.0
+    assert geomean["ideal_stable_lvp"] >= 1.0
+    assert geomean["ideal_constable"] >= geomean["2x_load_width"] - 0.01

@@ -1,0 +1,14 @@
+"""Fig. 9: SLD update rate at rename and sensitivity to wrong-path updates."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig9_sld_updates(benchmark, bench_runner):
+    result = run_once(benchmark, figures.fig9_sld_updates, bench_runner)
+    print("\n" + result["text"])
+    # The paper observes ~0.28 SLD updates/cycle on average and a negligible
+    # effect from wrong-path updates; check the same qualitative properties.
+    assert result["sld_updates_per_cycle"]["mean"] < 2.0
+    assert abs(result["wrong_path_performance_delta"]["mean"]) < 0.05

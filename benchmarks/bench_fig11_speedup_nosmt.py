@@ -1,0 +1,16 @@
+"""Fig. 11: noSMT speedups of EVES, Constable, EVES+Constable, EVES+Ideal Constable."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig11_speedup_nosmt(benchmark, bench_runner):
+    result = run_once(benchmark, figures.fig11_speedup_nosmt, bench_runner)
+    print("\n" + result["text"])
+    geomean = result["geomean"]
+    # Both mechanisms help (or at worst are neutral), and adding the ideal
+    # Constable oracle on top of EVES gives the largest benefit.
+    assert geomean["constable"] >= 0.99
+    assert geomean["eves"] >= 0.99
+    assert geomean["eves+ideal_constable"] >= max(geomean["eves"], geomean["constable"]) - 0.01

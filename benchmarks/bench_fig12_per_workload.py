@@ -1,0 +1,13 @@
+"""Fig. 12: per-workload speedup comparison of EVES and Constable."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig12_per_workload(benchmark, bench_runner):
+    result = run_once(benchmark, figures.fig12_per_workload, bench_runner)
+    print("\n" + result["text"])
+    assert result["total_workloads"] == len(result["eves"])
+    # Neither mechanism dominates every workload (the paper sees 60/30 split).
+    assert 0 <= result["constable_wins"] <= result["total_workloads"]

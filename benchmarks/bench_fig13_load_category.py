@@ -1,0 +1,15 @@
+"""Fig. 13: Constable speedup when eliminating only one addressing-mode category."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig13_load_categories(benchmark, bench_runner):
+    result = run_once(benchmark, figures.fig13_load_categories, bench_runner)
+    print("\n" + result["text"])
+    speedups = result["geomean_speedups"]
+    # The full mechanism covers at least as much as any single category.
+    best_single = max(speedups["pc_relative_only"], speedups["stack_relative_only"],
+                      speedups["register_relative_only"])
+    assert speedups["all_loads"] >= best_single - 0.01

@@ -1,0 +1,15 @@
+"""Fig. 14: SMT2 speedups - where Constable's resource savings matter most."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig14_speedup_smt2(benchmark, bench_runner):
+    result = run_once(benchmark, figures.fig14_speedup_smt2, bench_runner, max_pairs=2)
+    print("\n" + result["text"])
+    geomean = result["geomean_speedups"]
+    # Constable's advantage over pure value prediction grows under SMT because
+    # it frees shared load execution resources (paper §9.1.2).
+    assert geomean["constable"] >= geomean["eves"] - 0.01
+    assert geomean["eves+constable"] >= 0.99

@@ -1,0 +1,16 @@
+"""Fig. 15: Constable versus (and combined with) ELAR and RFP."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig15_prior_works(benchmark, bench_runner):
+    result = run_once(benchmark, figures.fig15_prior_works, bench_runner)
+    print("\n" + result["text"])
+    speedups = result["geomean_speedups"]
+    # ELAR adds little on a baseline with stack-pointer folding; Constable is
+    # at least competitive with both prior works and composes with them.
+    assert speedups["constable"] >= speedups["elar"] - 0.01
+    assert speedups["elar+constable"] >= speedups["elar"] - 0.01
+    assert speedups["rfp+constable"] >= speedups["rfp"] - 0.02

@@ -1,0 +1,15 @@
+"""Fig. 16: load coverage of EVES, Constable and their combination."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig16_coverage(benchmark, bench_runner):
+    result = run_once(benchmark, figures.fig16_coverage, bench_runner)
+    print("\n" + result["text"])
+    coverage = result["coverage"]
+    assert 0.0 < coverage["constable"] < 1.0
+    assert 0.0 < coverage["eves"] < 1.0
+    # The combination covers at least as many loads as Constable alone.
+    assert coverage["eves+constable"] >= coverage["constable"] - 0.02

@@ -1,0 +1,14 @@
+"""Fig. 17: how many global-stable loads Constable eliminates at runtime."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig17_stable_breakdown(benchmark, bench_runner):
+    result = run_once(benchmark, figures.fig17_stable_breakdown, bench_runner)
+    print("\n" + result["text"])
+    breakdown = result["breakdown"]
+    assert 0.0 < breakdown["global_stable_and_eliminated"] <= 1.0
+    assert (breakdown["global_stable_and_eliminated"]
+            + breakdown["global_stable_not_eliminated"]) == 1.0

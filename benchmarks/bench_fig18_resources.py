@@ -1,0 +1,17 @@
+"""Fig. 18: reduction in RS allocations and L1-D accesses with Constable."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig18_resource_utilisation(benchmark, bench_runner):
+    result = run_once(benchmark, figures.fig18_resource_utilisation, bench_runner)
+    print("\n" + result["text"])
+    # Eliminating loads must reduce both RS allocations and L1-D accesses.
+    assert result["rs_allocation_reduction"]["mean"] > 0.0
+    assert result["l1d_access_reduction"]["mean"] > 0.0
+    # L1-D accesses fall faster than RS allocations (every eliminated load is a
+    # skipped cache access, while many non-load micro-ops still use the RS).
+    assert (result["l1d_access_reduction"]["mean"]
+            >= result["rs_allocation_reduction"]["mean"] - 0.02)

@@ -1,0 +1,17 @@
+"""Fig. 19: core dynamic power of EVES, Constable and EVES+Constable vs baseline."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig19_power(benchmark, bench_runner):
+    result = run_once(benchmark, figures.fig19_power, bench_runner)
+    print("\n" + result["text"])
+    relative = result["relative_core_power"]
+    # Constable reduces core dynamic power (fewer RS allocations and L1-D
+    # accesses), whereas value prediction alone does not.
+    assert relative["constable"] < 1.005
+    assert relative["constable"] < relative["eves"] + 0.005
+    assert result["relative_rs_power"]["constable"] < 1.0
+    assert result["relative_l1d_power"]["constable"] < 1.0

@@ -1,0 +1,16 @@
+"""Fig. 20: sensitivity to load execution width and pipeline depth scaling."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig20_sensitivity(benchmark, bench_runner):
+    result = run_once(benchmark, figures.fig20_sensitivity, bench_runner,
+                      load_widths=(3, 4, 6), depth_scales=(1.0, 2.0))
+    print("\n" + result["text"])
+    # Constable keeps adding performance on top of naively scaled baselines.
+    for width, values in result["load_width"].items():
+        assert values["constable"] >= values["baseline"] - 0.01, width
+    for scale, values in result["pipeline_depth"].items():
+        assert values["constable"] >= values["baseline"] - 0.01, scale

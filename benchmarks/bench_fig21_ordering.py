@@ -1,0 +1,14 @@
+"""Fig. 21: memory-ordering violations by eliminated loads and their re-execution cost."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig21_ordering_violations(benchmark, bench_runner):
+    result = run_once(benchmark, figures.fig21_ordering_violations, bench_runner)
+    print("\n" + result["text"])
+    # Violations are rare thanks to the confidence threshold (paper: 0.09%).
+    assert result["violation_fraction"]["mean"] < 0.02
+    # Re-execution adds only a small number of allocated instructions.
+    assert result["rob_allocation_increase"]["mean"] < 0.05

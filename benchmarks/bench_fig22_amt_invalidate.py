@@ -1,0 +1,14 @@
+"""Fig. 22: CV-bit pinning versus invalidating the AMT on every L1-D eviction."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig22_amt_invalidation(benchmark, bench_runner):
+    result = run_once(benchmark, figures.fig22_amt_invalidation, bench_runner)
+    print("\n" + result["text"])
+    # The AMT-invalidation variant can only lose elimination opportunities.
+    assert (result["coverage"]["constable_amt_i"]
+            <= result["coverage"]["constable"] + 0.02)
+    assert result["speedup"]["constable"] >= result["speedup"]["constable_amt_i"] - 0.02

@@ -1,0 +1,18 @@
+"""Figs. 23-24: effect of doubling the architectural registers (APX) on stable loads."""
+
+from conftest import BENCH_INSTRUCTIONS, BENCH_PER_SUITE, run_once
+
+from repro.experiments import figures
+
+
+def test_fig23_fig24_apx_study(benchmark):
+    result = run_once(benchmark, figures.fig23_fig24_apx_study,
+                      per_suite=BENCH_PER_SUITE, instructions=BENCH_INSTRUCTIONS)
+    print("\n" + result["text"])
+    # More architectural registers remove some loads (mostly stack-relative),
+    # but the global-stable opportunity stays roughly the same (paper appendix B).
+    assert result["dynamic_load_reduction_with_apx"] >= 0.0
+    modes = result["addressing_mode_breakdown"]
+    assert modes["32_registers"].get("stack", 0.0) <= modes["16_registers"].get("stack", 0.0) + 0.02
+    fractions = result["global_stable_fraction"]
+    assert abs(fractions["32_registers"] - fractions["16_registers"]) < 0.25

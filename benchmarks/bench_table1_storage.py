@@ -1,0 +1,14 @@
+"""Table 1: storage overhead of Constable's structures (12.4 KB per core)."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_table1_storage_overhead(benchmark):
+    result = run_once(benchmark, figures.table1_storage_overhead)
+    print("\n" + result["text"])
+    storage = result["storage_kb"]
+    assert abs(storage["sld"] - 7.9) < 0.2
+    assert abs(storage["amt"] - 4.0) < 0.2
+    assert abs(storage["total"] - 12.4) < 0.4

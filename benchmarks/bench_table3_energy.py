@@ -1,0 +1,14 @@
+"""Table 3: access energy, leakage and area estimates of Constable's structures."""
+
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_table3_energy_estimates(benchmark):
+    result = run_once(benchmark, figures.table3_energy_estimates)
+    print("\n" + result["text"])
+    estimates = result["estimates"]
+    assert estimates["sld"]["read_energy_pj"] > estimates["amt"]["read_energy_pj"]
+    assert estimates["amt"]["read_energy_pj"] > estimates["rmt"]["read_energy_pj"]
+    assert abs(estimates["sld"]["read_energy_pj"] - 10.76) < 0.01

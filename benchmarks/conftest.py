@@ -1,0 +1,30 @@
+"""Shared fixtures for the per-figure benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper on a reduced
+workload set (one workload per suite, short traces) so the whole directory
+runs in minutes.  Results are cached in a session-scoped runner: configurations
+shared by several figures (baseline, EVES, Constable, ...) are only simulated
+once.  Pass a larger runner (``ExperimentRunner(per_suite=None, ...)``) through
+``repro.experiments`` directly to reproduce the full 90-workload sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+#: Workloads per suite and trace length used by the benchmark harnesses.
+BENCH_PER_SUITE = 1
+BENCH_INSTRUCTIONS = 5000
+
+
+@pytest.fixture(scope="session")
+def bench_runner():
+    """One shared reduced-workload runner for every figure benchmark."""
+    return ExperimentRunner(per_suite=BENCH_PER_SUITE, instructions=BENCH_INSTRUCTIONS)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run a harness exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

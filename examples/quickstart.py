@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload with and without Constable.
+
+Generates a Client-suite synthetic workload, runs the baseline Golden-Cove-like
+core and the same core with Constable attached, and prints speedup, elimination
+coverage and the reduction in reservation-station allocations and L1-D accesses
+-- the paper's headline metrics (Figs. 11, 18).
+"""
+
+from repro.analysis import inspect_trace
+from repro.core import ConstableConfig
+from repro.pipeline import CoreConfig, simulate_trace
+from repro.workloads import generate_trace, get_workload_spec
+
+
+def main() -> None:
+    spec = get_workload_spec("client_00")
+    trace = generate_trace(spec, num_instructions=20_000)
+    report = inspect_trace(trace)
+    print(f"workload: {spec.name} ({spec.suite}), {len(trace)} instructions, "
+          f"{len(trace.loads())} loads")
+    print(f"global-stable dynamic loads: {report.global_stable_dynamic_fraction():.1%}")
+
+    baseline = simulate_trace(trace, CoreConfig(), name="baseline")
+    constable = simulate_trace(
+        trace, CoreConfig(constable=ConstableConfig(confidence_threshold=8)),
+        name="constable")
+
+    print(f"\nbaseline : {baseline.cycles} cycles, IPC {baseline.ipc:.2f}")
+    print(f"constable: {constable.cycles} cycles, IPC {constable.ipc:.2f}")
+    print(f"speedup  : {constable.speedup_over(baseline):.3f}x")
+    print(f"loads eliminated: {constable.constable_stats['loads_eliminated']:.0f} "
+          f"({constable.constable_stats['elimination_coverage']:.1%} of loads)")
+
+    rs_base = baseline.resource_stats["rs_allocations"]
+    rs_cons = constable.resource_stats["rs_allocations"]
+    l1_base = baseline.power_events["l1d_accesses"]
+    l1_cons = constable.power_events["l1d_accesses"]
+    print(f"RS allocations : {rs_base} -> {rs_cons} ({1 - rs_cons / rs_base:.1%} fewer)")
+    print(f"L1-D accesses  : {l1_base} -> {l1_cons} ({1 - l1_cons / l1_base:.1%} fewer)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Small statistics helpers used across experiments and reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values (1.0 for an empty input)."""
+    values = list(values)
+    if not values:
+        return 1.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup(baseline_cycles: float, candidate_cycles: float) -> float:
+    """Speedup of a candidate over a baseline given cycle counts."""
+    if baseline_cycles <= 0 or candidate_cycles <= 0:
+        raise ValueError("cycle counts must be positive")
+    return baseline_cycles / candidate_cycles
+
+
+def weighted_fraction(numerators: Sequence[float], denominators: Sequence[float]) -> float:
+    """Sum(numerators) / sum(denominators), 0.0 when the denominator sum is zero."""
+    total = sum(denominators)
+    if total == 0:
+        return 0.0
+    return sum(numerators) / total
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = fraction * (len(sorted_values) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return sorted_values[lower]
+    weight = position - lower
+    return sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+
+
+def box_whisker_summary(values: Iterable[float]) -> Dict[str, float]:
+    """Summary matching the paper's box-and-whiskers plots (Figs. 9, 18, 21).
+
+    Returns the quartiles, the 1.5*IQR whiskers (clamped to observed values)
+    and the mean.
+    """
+    data = sorted(values)
+    if not data:
+        return {"min": 0.0, "q1": 0.0, "median": 0.0, "q3": 0.0, "max": 0.0,
+                "mean": 0.0, "whisker_low": 0.0, "whisker_high": 0.0}
+    q1 = _percentile(data, 0.25)
+    median = _percentile(data, 0.50)
+    q3 = _percentile(data, 0.75)
+    iqr = q3 - q1
+    low_bound = q1 - 1.5 * iqr
+    high_bound = q3 + 1.5 * iqr
+    whisker_low = min((v for v in data if v >= low_bound), default=data[0])
+    whisker_high = max((v for v in data if v <= high_bound), default=data[-1])
+    return {
+        "min": data[0],
+        "q1": q1,
+        "median": median,
+        "q3": q3,
+        "max": data[-1],
+        "mean": sum(data) / len(data),
+        "whisker_low": whisker_low,
+        "whisker_high": whisker_high,
+    }

@@ -1,0 +1,85 @@
+"""Execution-port model: per-cycle issue bandwidth for ALU, load and store pipes.
+
+The baseline (Table 2) issues six micro-ops per cycle to twelve ports: five
+ALU, three load (AGU + load port pairs), two store-address and two store-data.
+Constable's headline effect is freeing the *load* ports, so per-cycle load-port
+occupancy is also tracked for the Fig. 6 analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class PortKind(enum.Enum):
+    """Issue port categories."""
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE_ADDRESS = "store_address"
+    STORE_DATA = "store_data"
+
+
+@dataclass
+class PortConfig:
+    """Number of ports of each kind and the overall issue width."""
+
+    issue_width: int = 6
+    alu: int = 5
+    load: int = 3
+    store_address: int = 2
+    store_data: int = 2
+
+    def count(self, kind: PortKind) -> int:
+        return {
+            PortKind.ALU: self.alu,
+            PortKind.LOAD: self.load,
+            PortKind.STORE_ADDRESS: self.store_address,
+            PortKind.STORE_DATA: self.store_data,
+        }[kind]
+
+
+class ExecutionPorts:
+    """Per-cycle port arbitration with utilisation statistics."""
+
+    def __init__(self, config: PortConfig = PortConfig()):
+        self.config = config
+        self._available: Dict[PortKind, int] = {}
+        self._issued_this_cycle = 0
+        self.cycles = 0
+        self.load_port_busy_cycles = 0       # cycles with >= 1 load port in use
+        self.load_port_uses = 0              # total load issues
+        self.issue_counts: Dict[PortKind, int] = {kind: 0 for kind in PortKind}
+        self.new_cycle()
+
+    def new_cycle(self) -> None:
+        """Start a new cycle: refresh port availability and issue bandwidth."""
+        if self._available and self._available[PortKind.LOAD] < self.config.load:
+            # At least one load port was claimed during the cycle that just ended.
+            self.load_port_busy_cycles += 1
+        self._available = {kind: self.config.count(kind) for kind in PortKind}
+        self._issued_this_cycle = 0
+        self.cycles += 1
+
+    def can_issue(self, kind: PortKind) -> bool:
+        """True if a micro-op of this kind can issue this cycle."""
+        if self._issued_this_cycle >= self.config.issue_width:
+            return False
+        return self._available[kind] > 0
+
+    def issue(self, kind: PortKind) -> bool:
+        """Claim a port of ``kind`` for this cycle; returns False if none is free."""
+        if not self.can_issue(kind):
+            return False
+        self._available[kind] -= 1
+        self._issued_this_cycle += 1
+        self.issue_counts[kind] += 1
+        if kind is PortKind.LOAD:
+            self.load_port_uses += 1
+        return True
+
+    def loads_issued_this_cycle(self) -> int:
+        """Number of load ports already claimed in the current cycle."""
+        return self.config.load - self._available[PortKind.LOAD]

@@ -1,0 +1,85 @@
+"""Configuration of the Constable engine (paper §6, Table 1 geometries)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.isa.instruction import AddressingMode
+
+#: All load addressing modes eligible for elimination by default.
+ALL_ADDRESSING_MODES: FrozenSet[AddressingMode] = frozenset({
+    AddressingMode.PC_RELATIVE,
+    AddressingMode.STACK_RELATIVE,
+    AddressingMode.REG_RELATIVE,
+})
+
+
+@dataclass
+class ConstableConfig:
+    """Structure geometries, thresholds and design-variant switches."""
+
+    # Stable Load Detector: 512 entries = 32 sets x 16 ways (Table 1).
+    sld_sets: int = 32
+    sld_ways: int = 16
+    confidence_bits: int = 5
+    confidence_threshold: int = 30
+
+    # Register Monitor Table: 16 load PCs for RSP/RBP, 8 for the rest (Table 1).
+    rmt_stack_capacity: int = 16
+    rmt_other_capacity: int = 8
+
+    # Address Monitor Table: 256 entries = 32 sets x 8 ways, 4 hashed PCs each.
+    amt_sets: int = 32
+    amt_ways: int = 8
+    amt_pcs_per_entry: int = 4
+    cacheline_size: int = 64
+
+    # Extra register file holding values of in-flight eliminated loads (§6.3).
+    xprf_entries: int = 32
+
+    # SLD port model (§6.7.1): rename stalls beyond these per-cycle budgets.
+    sld_read_ports: int = 3
+    sld_write_ports: int = 2
+
+    # Which addressing modes may be eliminated (Fig. 13 restricts this).
+    eliminate_addressing_modes: FrozenSet[AddressingMode] = field(
+        default_factory=lambda: ALL_ADDRESSING_MODES)
+
+    # Design variants.
+    #: Invalidate AMT entries on every L1-D eviction instead of pinning CV bits
+    #: (the Constable-AMT-I variant of Fig. 22).
+    amt_invalidate_on_l1_eviction: bool = False
+    #: Pin the own core's CV bit in the directory for eliminated-load lines (§6.6).
+    pin_cv_bits: bool = True
+    #: Inject synthetic wrong-path RMT/SLD updates after every branch
+    #: misprediction.  The paper finds that leaving the structures unrestored
+    #: after mispredictions costs only ~0.2% (Fig. 9b), so the default models
+    #: that negligible impact (no injection); enabling this gives a pessimistic
+    #: upper bound used by the Fig. 9b benchmark.
+    wrong_path_updates: bool = False
+
+    def __post_init__(self) -> None:
+        if self.confidence_threshold >= (1 << self.confidence_bits):
+            raise ValueError("confidence threshold must fit in confidence_bits")
+        for name in ("sld_sets", "sld_ways", "amt_sets", "amt_ways",
+                     "amt_pcs_per_entry", "xprf_entries",
+                     "rmt_stack_capacity", "rmt_other_capacity"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def confidence_max(self) -> int:
+        return (1 << self.confidence_bits) - 1
+
+    @property
+    def sld_entries(self) -> int:
+        return self.sld_sets * self.sld_ways
+
+    @property
+    def amt_entries(self) -> int:
+        return self.amt_sets * self.amt_ways
+
+    def mode_allowed(self, mode: AddressingMode) -> bool:
+        """Is a load with this addressing mode eligible for elimination?"""
+        return mode in self.eliminate_addressing_modes

@@ -1,0 +1,88 @@
+"""Ideal (oracle) configurations for the headroom study (paper §4.4, Fig. 7).
+
+The oracle knows, offline, the set of global-stable load PCs of a trace (from
+the Load Inspector).  Three idealised mechanisms are modelled on top of it:
+
+* ``IdealMode.CONSTABLE``        - eliminate the full execution of every
+  global-stable load (after its first instance supplies the value).
+* ``IdealMode.STABLE_LVP``       - perfectly value-predict every global-stable
+  load; the load still executes completely.
+* ``IdealMode.STABLE_LVP_FETCH_ELIM`` - perfectly value-predict and skip the
+  data fetch; the load still computes its address (RS + AGU, no load port).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.workloads.trace import Trace
+
+
+class IdealMode(enum.Enum):
+    """Which idealised mechanism the oracle drives."""
+
+    CONSTABLE = "ideal_constable"
+    STABLE_LVP = "ideal_stable_lvp"
+    STABLE_LVP_FETCH_ELIM = "ideal_stable_lvp_fetch_elim"
+
+
+@dataclass
+class IdealOracle:
+    """Offline knowledge of global-stable loads plus the chosen ideal mode."""
+
+    stable_pcs: Set[int]
+    mode: IdealMode = IdealMode.CONSTABLE
+    _seen: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    loads_covered: int = 0
+    loads_seen: int = 0
+
+    def reset_runtime_state(self) -> None:
+        """Forget per-run learning (call between simulations sharing one oracle)."""
+        self._seen = {}
+        self.loads_covered = 0
+        self.loads_seen = 0
+
+    def is_stable(self, pc: int) -> bool:
+        return pc in self.stable_pcs
+
+    def covers(self, pc: int) -> bool:
+        """Can this dynamic instance be handled ideally?
+
+        The very first instance of every static load must execute so the value
+        is known; every later instance of an oracle-stable load is covered.
+        """
+        self.loads_seen += 1
+        if pc in self.stable_pcs and pc in self._seen:
+            self.loads_covered += 1
+            return True
+        return False
+
+    def known_value(self, pc: int) -> Tuple[int, int]:
+        """(address, value) recorded from the load's first executed instance."""
+        return self._seen[pc]
+
+    def observe_execution(self, pc: int, address: int, value: int) -> None:
+        """Record the first executed instance of a stable load."""
+        if pc in self.stable_pcs and pc not in self._seen:
+            self._seen[pc] = (address, value)
+
+    def coverage(self) -> float:
+        if self.loads_seen == 0:
+            return 0.0
+        return self.loads_covered / self.loads_seen
+
+
+def build_oracle_from_trace(trace: Trace, mode: IdealMode = IdealMode.CONSTABLE,
+                            report=None) -> IdealOracle:
+    """Build an oracle from a trace by running the Load Inspector over it.
+
+    ``report`` may be a pre-computed :class:`GlobalStableReport` to avoid
+    re-scanning the trace.
+    """
+    from repro.analysis.load_inspector import inspect_trace
+
+    if report is None:
+        report = inspect_trace(trace)
+    return IdealOracle(stable_pcs=set(report.global_stable_pcs()), mode=mode)

@@ -1,0 +1,66 @@
+"""Storage-overhead accounting for Constable's structures (paper Table 1).
+
+The paper reports 12.4 KB per core: a 7.9 KB SLD, a 0.4 KB RMT and a 4.0 KB
+AMT, assuming a 48-bit physical address space.  The same arithmetic is exposed
+here so the Table 1 benchmark can regenerate the numbers from a
+:class:`ConstableConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.config import ConstableConfig
+
+#: Bits of the physical address space modelled by the baseline system.
+PHYSICAL_ADDRESS_BITS = 48
+
+#: Field widths used in Table 1.
+SLD_TAG_BITS = 24
+SLD_ADDRESS_BITS = 32
+SLD_VALUE_BITS = 64
+AMT_TAG_BITS = 32
+AMT_HASHED_PC_BITS = 24
+RMT_PC_BITS = 24  # hashed load-PC identifier stored per RMT slot
+
+
+def sld_bits(config: ConstableConfig) -> int:
+    """Total SLD storage in bits."""
+    entry_bits = (SLD_TAG_BITS + SLD_ADDRESS_BITS + SLD_VALUE_BITS
+                  + config.confidence_bits + 1)
+    return config.sld_entries * entry_bits
+
+
+def rmt_bits(config: ConstableConfig, num_registers: int = 16,
+             num_stack_registers: int = 2) -> int:
+    """Total RMT storage in bits."""
+    other_registers = num_registers - num_stack_registers
+    slots = (num_stack_registers * config.rmt_stack_capacity
+             + other_registers * config.rmt_other_capacity)
+    return slots * RMT_PC_BITS
+
+
+def amt_bits(config: ConstableConfig) -> int:
+    """Total AMT storage in bits."""
+    entry_bits = AMT_TAG_BITS + config.amt_pcs_per_entry * AMT_HASHED_PC_BITS
+    return config.amt_entries * entry_bits
+
+
+def storage_overhead_bits(config: Optional[ConstableConfig] = None,
+                          num_registers: int = 16) -> Dict[str, int]:
+    """Per-structure and total storage, in bits."""
+    config = config or ConstableConfig()
+    breakdown = {
+        "sld": sld_bits(config),
+        "rmt": rmt_bits(config, num_registers=num_registers),
+        "amt": amt_bits(config),
+    }
+    breakdown["total"] = sum(breakdown.values())
+    return breakdown
+
+
+def storage_overhead_report(config: Optional[ConstableConfig] = None,
+                            num_registers: int = 16) -> Dict[str, float]:
+    """Per-structure and total storage, in kilobytes (Table 1)."""
+    bits = storage_overhead_bits(config, num_registers=num_registers)
+    return {name: value / 8.0 / 1024.0 for name, value in bits.items()}

@@ -1,0 +1,33 @@
+"""Experiment orchestration: named configurations, the runner, and per-figure harnesses."""
+
+from repro.experiments.configs import (
+    EXPERIMENT_CONFIDENCE_THRESHOLD,
+    baseline_config,
+    constable_config,
+    eves_config,
+    eves_constable_config,
+    elar_config,
+    rfp_config,
+    constable_engine_config,
+    named_configs,
+)
+from repro.experiments.runner import ExperimentRunner, WorkloadRun
+from repro.experiments import figures
+from repro.experiments.reporting import format_table, format_percent
+
+__all__ = [
+    "EXPERIMENT_CONFIDENCE_THRESHOLD",
+    "baseline_config",
+    "constable_config",
+    "eves_config",
+    "eves_constable_config",
+    "elar_config",
+    "rfp_config",
+    "constable_engine_config",
+    "named_configs",
+    "ExperimentRunner",
+    "WorkloadRun",
+    "figures",
+    "format_table",
+    "format_percent",
+]

@@ -1,0 +1,85 @@
+"""Named core configurations used by the figure harnesses.
+
+All configurations share the paper's baseline core (Table 2).  The Constable
+confidence threshold is scaled down from the paper's 30 to 8 because the
+synthetic traces are orders of magnitude shorter than the paper's (a load that
+recurs once per outer loop iteration would otherwise spend most of a short
+trace just training); the hardware-faithful default of 30 remains the
+:class:`~repro.core.config.ConstableConfig` default and is exercised by the
+unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.config import ConstableConfig
+from repro.pipeline.config import CoreConfig
+
+#: Stability-confidence threshold used by experiments on short synthetic traces.
+EXPERIMENT_CONFIDENCE_THRESHOLD = 8
+
+
+def constable_engine_config(**overrides) -> ConstableConfig:
+    """A ConstableConfig with the experiment-scaled confidence threshold."""
+    params = {"confidence_threshold": EXPERIMENT_CONFIDENCE_THRESHOLD}
+    params.update(overrides)
+    return ConstableConfig(**params)
+
+
+def baseline_config(**overrides) -> CoreConfig:
+    """The paper's baseline: MRN + rename optimizations, no Constable, no LVP."""
+    return CoreConfig(**overrides)
+
+
+def constable_config(**overrides) -> CoreConfig:
+    """Baseline plus Constable."""
+    constable = overrides.pop("constable", None) or constable_engine_config()
+    return CoreConfig(constable=constable, **overrides)
+
+
+def eves_config(**overrides) -> CoreConfig:
+    """Baseline plus the EVES load value predictor."""
+    return CoreConfig(lvp="eves", **overrides)
+
+
+def eves_constable_config(**overrides) -> CoreConfig:
+    """Baseline plus EVES plus Constable (the paper's combined configuration)."""
+    constable = overrides.pop("constable", None) or constable_engine_config()
+    return CoreConfig(lvp="eves", constable=constable, **overrides)
+
+
+def elar_config(**overrides) -> CoreConfig:
+    """Baseline plus early load address resolution."""
+    return CoreConfig(enable_elar=True, **overrides)
+
+
+def rfp_config(**overrides) -> CoreConfig:
+    """Baseline plus register file prefetching."""
+    return CoreConfig(enable_rfp=True, **overrides)
+
+
+def elar_constable_config(**overrides) -> CoreConfig:
+    """ELAR combined with Constable."""
+    constable = overrides.pop("constable", None) or constable_engine_config()
+    return CoreConfig(enable_elar=True, constable=constable, **overrides)
+
+
+def rfp_constable_config(**overrides) -> CoreConfig:
+    """RFP combined with Constable."""
+    constable = overrides.pop("constable", None) or constable_engine_config()
+    return CoreConfig(enable_rfp=True, constable=constable, **overrides)
+
+
+def named_configs() -> Dict[str, Callable[[], CoreConfig]]:
+    """The named configurations evaluated throughout the paper."""
+    return {
+        "baseline": baseline_config,
+        "constable": constable_config,
+        "eves": eves_config,
+        "eves+constable": eves_constable_config,
+        "elar": elar_config,
+        "rfp": rfp_config,
+        "elar+constable": elar_constable_config,
+        "rfp+constable": rfp_constable_config,
+    }

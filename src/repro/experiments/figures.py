@@ -1,0 +1,628 @@
+"""Per-figure experiment harnesses.
+
+Every public function regenerates one table or figure of the paper and returns
+a plain dictionary with the numbers (plus, in most cases, a ``text`` entry with
+a formatted table).  The functions accept an :class:`ExperimentRunner`; when
+none is given they build a small default runner so that each harness stays
+runnable on a laptop in seconds-to-minutes.
+
+The absolute values will not match the paper (synthetic workloads, simplified
+core); EXPERIMENTS.md records, per figure, which qualitative property is
+expected to hold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.load_inspector import inspect_trace
+from repro.analysis.stats_utils import box_whisker_summary, geomean
+from repro.core.config import ConstableConfig
+from repro.core.ideal import IdealMode, IdealOracle
+from repro.core.storage import storage_overhead_report
+from repro.experiments.configs import (
+    EXPERIMENT_CONFIDENCE_THRESHOLD,
+    baseline_config,
+    constable_config,
+    constable_engine_config,
+    elar_config,
+    elar_constable_config,
+    eves_config,
+    eves_constable_config,
+    rfp_config,
+    rfp_constable_config,
+)
+from repro.experiments.reporting import format_table, per_suite_table
+from repro.experiments.runner import ExperimentRunner
+from repro.isa.instruction import AddressingMode
+from repro.pipeline.config import CoreConfig
+from repro.power.cacti import constable_structure_estimates
+from repro.power.power_model import CorePowerModel
+from repro.workloads.generator import generate_trace
+from repro.workloads.suites import SUITE_NAMES
+
+
+def default_runner(per_suite: int = 2, instructions: int = 6000) -> ExperimentRunner:
+    """The reduced workload set used by the benchmark harnesses."""
+    return ExperimentRunner(per_suite=per_suite, instructions=instructions)
+
+
+def _ideal_builder(mode: IdealMode, lvp: Optional[str] = None):
+    """Config builder for the oracle-driven ideal mechanisms (needs the trace report)."""
+    def build(trace, report):
+        oracle = IdealOracle(stable_pcs=set(report.global_stable_pcs()), mode=mode)
+        return CoreConfig(ideal_oracle=oracle, lvp=lvp)
+    return build
+
+
+# ======================================================================== Fig 3
+
+def fig3_global_stable_characterisation(runner: Optional[ExperimentRunner] = None) -> Dict[str, object]:
+    """Fig. 3: fraction, addressing modes and reuse distances of global-stable loads."""
+    runner = runner or default_runner()
+    per_suite_fraction: Dict[str, List[float]] = {suite: [] for suite in runner.suites}
+    mode_breakdown: Dict[str, Dict[str, List[float]]] = {}
+    distance: Dict[str, List[float]] = {}
+    distance_by_mode: Dict[str, Dict[str, List[float]]] = {}
+    for run in runner.workloads().values():
+        report = run.report
+        per_suite_fraction[run.spec.suite].append(report.global_stable_dynamic_fraction())
+        for mode, value in report.addressing_mode_breakdown().items():
+            mode_breakdown.setdefault(run.spec.suite, {}).setdefault(mode, []).append(value)
+        for bucket, value in report.distance_distribution().items():
+            distance.setdefault(bucket, []).append(value)
+        for mode, buckets in report.distance_distribution_by_mode().items():
+            for bucket, value in buckets.items():
+                distance_by_mode.setdefault(mode, {}).setdefault(bucket, []).append(value)
+
+    def _avg(values: List[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    fraction_by_suite = {suite: _avg(values) for suite, values in per_suite_fraction.items()}
+    all_fractions = [v for values in per_suite_fraction.values() for v in values]
+    result = {
+        "global_stable_fraction_by_suite": fraction_by_suite,
+        "global_stable_fraction_avg": _avg(all_fractions),
+        "addressing_mode_breakdown": {
+            suite: {mode: _avg(values) for mode, values in modes.items()}
+            for suite, modes in mode_breakdown.items()},
+        "distance_distribution": {bucket: _avg(values) for bucket, values in distance.items()},
+        "distance_distribution_by_mode": {
+            mode: {bucket: _avg(values) for bucket, values in buckets.items()}
+            for mode, buckets in distance_by_mode.items()},
+    }
+    rows = [(suite, f"{fraction * 100:.1f}%") for suite, fraction in fraction_by_suite.items()]
+    rows.append(("AVG", f"{result['global_stable_fraction_avg'] * 100:.1f}%"))
+    result["text"] = format_table(["suite", "global-stable loads"], rows,
+                                  title="Fig. 3(a): fraction of dynamic loads that are global-stable")
+    return result
+
+
+# ======================================================================== Fig 6
+
+def fig6_load_port_utilisation(runner: Optional[ExperimentRunner] = None) -> Dict[str, object]:
+    """Fig. 6: load-port-utilised cycles and how often stable loads hold the port."""
+    runner = runner or default_runner()
+    results = runner.run_config("baseline+eves", eves_config())
+    utilised_fractions = []
+    blocking_fractions = []
+    for result in results.values():
+        cycles = max(1, result.cycles)
+        utilised = result.stats.load_utilized_cycles
+        utilised_fractions.append(utilised / cycles)
+        if utilised:
+            blocking_fractions.append(result.stats.load_utilized_cycles_stable_blocking / utilised)
+    summary = {
+        "load_utilised_cycle_fraction": sum(utilised_fractions) / len(utilised_fractions),
+        "stable_blocking_fraction_of_utilised": (
+            sum(blocking_fractions) / len(blocking_fractions) if blocking_fractions else 0.0),
+    }
+    summary["text"] = format_table(
+        ["metric", "value"],
+        [("cycles with >=1 load port busy", f"{summary['load_utilised_cycle_fraction'] * 100:.1f}%"),
+         ("of those, stable load holds port while non-stable waits",
+          f"{summary['stable_blocking_fraction_of_utilised'] * 100:.1f}%")],
+        title="Fig. 6: load port utilisation (baseline + EVES)")
+    return summary
+
+
+# ======================================================================== Fig 7
+
+def fig7_headroom(runner: Optional[ExperimentRunner] = None) -> Dict[str, object]:
+    """Fig. 7: Ideal Constable vs Ideal Stable LVP vs 2x load width."""
+    runner = runner or default_runner()
+    runner.run_config("baseline", baseline_config())
+    runner.run_config("ideal_stable_lvp", _ideal_builder(IdealMode.STABLE_LVP))
+    runner.run_config("ideal_stable_lvp_fetch_elim",
+                      _ideal_builder(IdealMode.STABLE_LVP_FETCH_ELIM))
+    runner.run_config("2x_load_width", baseline_config().with_load_width(6))
+    runner.run_config("ideal_constable", _ideal_builder(IdealMode.CONSTABLE))
+    configs = ["ideal_stable_lvp", "ideal_stable_lvp_fetch_elim", "2x_load_width",
+               "ideal_constable"]
+    per_suite = {}
+    for config in configs:
+        for suite, value in runner.speedups_by_suite(config).items():
+            per_suite.setdefault(suite, {})[config] = value
+    result = {"speedups_by_suite": per_suite,
+              "geomean": {config: runner.geomean_speedup(config) for config in configs}}
+    result["text"] = per_suite_table(per_suite, title="Fig. 7: headroom of ideal mechanisms")
+    return result
+
+
+# ======================================================================== Fig 9
+
+def fig9_sld_updates(runner: Optional[ExperimentRunner] = None) -> Dict[str, object]:
+    """Fig. 9: SLD updates per cycle and the effect of wrong-path updates."""
+    runner = runner or default_runner()
+    runner.run_config("baseline", baseline_config())
+    clean = runner.run_config("constable", constable_config())
+    noisy = runner.run_config(
+        "constable_wrong_path",
+        constable_config(constable=constable_engine_config(wrong_path_updates=True)))
+    updates = [result.stats.average_sld_updates_per_cycle() for result in clean.values()]
+    deltas = []
+    for name in clean:
+        clean_cycles = clean[name].cycles
+        noisy_cycles = noisy[name].cycles
+        deltas.append(clean_cycles / noisy_cycles - 1.0)
+    result = {
+        "sld_updates_per_cycle": box_whisker_summary(updates),
+        "wrong_path_performance_delta": box_whisker_summary(deltas),
+    }
+    result["text"] = format_table(
+        ["metric", "mean", "median", "max"],
+        [("SLD updates per cycle",
+          f"{result['sld_updates_per_cycle']['mean']:.3f}",
+          f"{result['sld_updates_per_cycle']['median']:.3f}",
+          f"{result['sld_updates_per_cycle']['max']:.3f}"),
+         ("perf delta from wrong-path updates",
+          f"{result['wrong_path_performance_delta']['mean'] * 100:.2f}%",
+          f"{result['wrong_path_performance_delta']['median'] * 100:.2f}%",
+          f"{result['wrong_path_performance_delta']['max'] * 100:.2f}%")],
+        title="Fig. 9: SLD update rate and wrong-path sensitivity")
+    return result
+
+
+# ======================================================================= Fig 11
+
+def fig11_speedup_nosmt(runner: Optional[ExperimentRunner] = None) -> Dict[str, object]:
+    """Fig. 11: noSMT speedups of EVES, Constable, EVES+Constable, EVES+Ideal Constable."""
+    runner = runner or default_runner()
+    runner.run_config("baseline", baseline_config())
+    runner.run_config("eves", eves_config())
+    runner.run_config("constable", constable_config())
+    runner.run_config("eves+constable", eves_constable_config())
+    runner.run_config("eves+ideal_constable",
+                      _ideal_builder(IdealMode.CONSTABLE, lvp="eves"))
+    configs = ["eves", "constable", "eves+constable", "eves+ideal_constable"]
+    per_suite = {}
+    for config in configs:
+        for suite, value in runner.speedups_by_suite(config).items():
+            per_suite.setdefault(suite, {})[config] = value
+    result = {"speedups_by_suite": per_suite,
+              "geomean": {config: runner.geomean_speedup(config) for config in configs}}
+    result["text"] = per_suite_table(per_suite, title="Fig. 11: speedup over baseline (noSMT)")
+    return result
+
+
+# ======================================================================= Fig 12
+
+def fig12_per_workload(runner: Optional[ExperimentRunner] = None) -> Dict[str, object]:
+    """Fig. 12: per-workload speedup line graph data (sorted by EVES speedup)."""
+    runner = runner or default_runner()
+    runner.run_config("baseline", baseline_config())
+    runner.run_config("eves", eves_config())
+    runner.run_config("constable", constable_config())
+    runner.run_config("eves+constable", eves_constable_config())
+    eves = runner.speedups("eves")
+    constable = runner.speedups("constable")
+    combined = runner.speedups("eves+constable")
+    order = sorted(eves, key=lambda name: eves[name])
+    rows = [(name, f"{eves[name]:.3f}", f"{constable[name]:.3f}", f"{combined[name]:.3f}")
+            for name in order]
+    constable_wins = sum(1 for name in order if constable[name] > eves[name])
+    result = {
+        "workloads": order,
+        "eves": [eves[n] for n in order],
+        "constable": [constable[n] for n in order],
+        "eves+constable": [combined[n] for n in order],
+        "constable_wins": constable_wins,
+        "total_workloads": len(order),
+        "text": format_table(["workload", "eves", "constable", "eves+constable"], rows,
+                             title="Fig. 12: per-workload speedups (sorted by EVES)"),
+    }
+    return result
+
+
+# ======================================================================= Fig 13
+
+def fig13_load_categories(runner: Optional[ExperimentRunner] = None) -> Dict[str, object]:
+    """Fig. 13: Constable restricted to PC-/stack-/register-relative loads."""
+    runner = runner or default_runner()
+    runner.run_config("baseline", baseline_config())
+    categories = {
+        "pc_relative_only": frozenset({AddressingMode.PC_RELATIVE}),
+        "stack_relative_only": frozenset({AddressingMode.STACK_RELATIVE}),
+        "register_relative_only": frozenset({AddressingMode.REG_RELATIVE}),
+    }
+    geomeans: Dict[str, float] = {}
+    for name, modes in categories.items():
+        runner.run_config(
+            name, constable_config(
+                constable=constable_engine_config(eliminate_addressing_modes=modes)))
+        geomeans[name] = runner.geomean_speedup(name)
+    runner.run_config("all_loads", constable_config())
+    geomeans["all_loads"] = runner.geomean_speedup("all_loads")
+    rows = [(name, f"{value:.3f}") for name, value in geomeans.items()]
+    return {"geomean_speedups": geomeans,
+            "text": format_table(["category", "speedup"], rows,
+                                 title="Fig. 13: speedup by eliminated load category")}
+
+
+# ======================================================================= Fig 14
+
+def fig14_speedup_smt2(runner: Optional[ExperimentRunner] = None,
+                       max_pairs: Optional[int] = 4) -> Dict[str, object]:
+    """Fig. 14: SMT2 speedups of EVES, Constable and EVES+Constable."""
+    runner = runner or default_runner()
+    baseline = runner.run_smt_config("baseline", baseline_config(), max_pairs=max_pairs)
+    configs = {
+        "eves": eves_config(),
+        "constable": constable_config(),
+        "eves+constable": eves_constable_config(),
+    }
+    geomeans: Dict[str, float] = {}
+    per_pair: Dict[str, Dict[str, float]] = {}
+    for name, config in configs.items():
+        results = runner.run_smt_config(name, config, max_pairs=max_pairs)
+        speedups = []
+        for pair, result in results.items():
+            speedup = baseline[pair].cycles / result.cycles
+            speedups.append(speedup)
+            per_pair.setdefault("+".join(pair), {})[name] = speedup
+        geomeans[name] = geomean(speedups) if speedups else 1.0
+    rows = [(name, f"{value:.3f}") for name, value in geomeans.items()]
+    return {"geomean_speedups": geomeans, "per_pair": per_pair,
+            "text": format_table(["config", "SMT2 speedup"], rows,
+                                 title="Fig. 14: speedup over baseline (SMT2)")}
+
+
+# ======================================================================= Fig 15
+
+def fig15_prior_works(runner: Optional[ExperimentRunner] = None) -> Dict[str, object]:
+    """Fig. 15: ELAR and RFP compared with (and combined with) Constable."""
+    runner = runner or default_runner()
+    runner.run_config("baseline", baseline_config())
+    configs = {
+        "elar": elar_config(),
+        "rfp": rfp_config(),
+        "constable": constable_config(),
+        "elar+constable": elar_constable_config(),
+        "rfp+constable": rfp_constable_config(),
+    }
+    geomeans = {}
+    for name, config in configs.items():
+        runner.run_config(name, config)
+        geomeans[name] = runner.geomean_speedup(name)
+    rows = [(name, f"{value:.3f}") for name, value in geomeans.items()]
+    return {"geomean_speedups": geomeans,
+            "text": format_table(["config", "speedup"], rows,
+                                 title="Fig. 15: Constable vs ELAR and RFP")}
+
+
+# ======================================================================= Fig 16
+
+def fig16_coverage(runner: Optional[ExperimentRunner] = None) -> Dict[str, object]:
+    """Fig. 16: load coverage of EVES, Constable and their combination."""
+    runner = runner or default_runner()
+    eves = runner.run_config("eves", eves_config())
+    constable = runner.run_config("constable", constable_config())
+    combined = runner.run_config("eves+constable", eves_constable_config())
+    ideal = runner.run_config("eves+ideal_constable",
+                              _ideal_builder(IdealMode.CONSTABLE, lvp="eves"))
+
+    def _coverage(result, include_lvp: bool, include_constable: bool) -> float:
+        loads = max(1, result.stats.loads_renamed)
+        covered = 0
+        if include_constable and result.constable_stats is not None:
+            covered += result.constable_stats.get("loads_eliminated", 0)
+        if include_constable and result.stats.eliminated_loads_retired and result.constable_stats is None:
+            covered += result.stats.eliminated_loads_retired
+        if include_lvp:
+            covered += result.stats.value_predicted_loads
+        return covered / loads
+
+    coverages = {
+        "eves": sum(_coverage(r, True, False) for r in eves.values()) / len(eves),
+        "constable": sum(_coverage(r, False, True) for r in constable.values()) / len(constable),
+        "eves+constable": sum(_coverage(r, True, True) for r in combined.values()) / len(combined),
+        "eves+ideal_constable": sum(
+            (r.stats.eliminated_loads_retired + r.stats.value_predicted_loads)
+            / max(1, r.stats.loads_renamed) for r in ideal.values()) / len(ideal),
+    }
+    rows = [(name, f"{value * 100:.1f}%") for name, value in coverages.items()]
+    return {"coverage": coverages,
+            "text": format_table(["config", "load coverage"], rows,
+                                 title="Fig. 16: fraction of loads covered")}
+
+
+# ======================================================================= Fig 17
+
+def fig17_stable_breakdown(runner: Optional[ExperimentRunner] = None) -> Dict[str, object]:
+    """Fig. 17: how many global-stable loads Constable actually eliminates."""
+    runner = runner or default_runner()
+    results = runner.run_config("constable", constable_config())
+    eliminated_stable = 0
+    eliminated_other = 0
+    stable_total = 0
+    for name, result in results.items():
+        eliminated_stable += result.stats.eliminated_oracle_stable_loads
+        eliminated_other += result.stats.eliminated_non_stable_loads
+        stable_total += result.stats.oracle_stable_loads_renamed
+    stable_total = max(1, stable_total)
+    breakdown = {
+        "global_stable_and_eliminated": eliminated_stable / stable_total,
+        "global_stable_not_eliminated": 1.0 - eliminated_stable / stable_total,
+        "not_global_stable_but_eliminated": eliminated_other / stable_total,
+    }
+    rows = [(name, f"{value * 100:.1f}%") for name, value in breakdown.items()]
+    return {"breakdown": breakdown,
+            "text": format_table(["category", "fraction of global-stable loads"], rows,
+                                 title="Fig. 17: runtime coverage of global-stable loads")}
+
+
+# ======================================================================= Fig 18
+
+def fig18_resource_utilisation(runner: Optional[ExperimentRunner] = None) -> Dict[str, object]:
+    """Fig. 18: reduction in RS allocations and L1-D accesses with Constable."""
+    runner = runner or default_runner()
+    runner.run_config("baseline", baseline_config())
+    runner.run_config("constable", constable_config())
+    rs_ratio = runner.metric_ratio(
+        "constable", lambda r: r.resource_stats.get("rs_allocations", 0))
+    l1_ratio = runner.metric_ratio(
+        "constable", lambda r: r.power_events.get("l1d_accesses", 0))
+    rs_reduction = [1.0 - value for value in rs_ratio.values()]
+    l1_reduction = [1.0 - value for value in l1_ratio.values()]
+    result = {
+        "rs_allocation_reduction": box_whisker_summary(rs_reduction),
+        "l1d_access_reduction": box_whisker_summary(l1_reduction),
+    }
+    result["text"] = format_table(
+        ["metric", "mean", "median", "max"],
+        [("RS allocation reduction",
+          f"{result['rs_allocation_reduction']['mean'] * 100:.1f}%",
+          f"{result['rs_allocation_reduction']['median'] * 100:.1f}%",
+          f"{result['rs_allocation_reduction']['max'] * 100:.1f}%"),
+         ("L1-D access reduction",
+          f"{result['l1d_access_reduction']['mean'] * 100:.1f}%",
+          f"{result['l1d_access_reduction']['median'] * 100:.1f}%",
+          f"{result['l1d_access_reduction']['max'] * 100:.1f}%")],
+        title="Fig. 18: pipeline resource utilisation reduction")
+    return result
+
+
+# ======================================================================= Fig 19
+
+def fig19_power(runner: Optional[ExperimentRunner] = None) -> Dict[str, object]:
+    """Fig. 19: core dynamic power of EVES, Constable and EVES+Constable vs baseline."""
+    runner = runner or default_runner()
+    model = CorePowerModel()
+    config_names = ["baseline", "eves", "constable", "eves+constable"]
+    runner.run_config("baseline", baseline_config())
+    runner.run_config("eves", eves_config())
+    runner.run_config("constable", constable_config())
+    runner.run_config("eves+constable", eves_constable_config())
+
+    totals: Dict[str, float] = {name: 0.0 for name in config_names}
+    sub_units: Dict[str, Dict[str, float]] = {name: {} for name in config_names}
+    units: Dict[str, Dict[str, float]] = {name: {} for name in config_names}
+    for run in runner.workloads().values():
+        for name in config_names:
+            breakdown = model.evaluate(run.results[name].power_events)
+            totals[name] += breakdown.total
+            for unit, value in breakdown.units.items():
+                units[name][unit] = units[name].get(unit, 0.0) + value
+            for unit, value in breakdown.sub_units.items():
+                sub_units[name][unit] = sub_units[name].get(unit, 0.0) + value
+
+    baseline_total = totals["baseline"] or 1.0
+    relative = {name: totals[name] / baseline_total for name in config_names}
+    rs_delta = {name: sub_units[name].get("RS", 0.0) / (sub_units["baseline"].get("RS", 1.0) or 1.0)
+                for name in config_names}
+    l1_delta = {name: sub_units[name].get("L1D", 0.0) / (sub_units["baseline"].get("L1D", 1.0) or 1.0)
+                for name in config_names}
+    rows = [(name, f"{relative[name]:.3f}", f"{rs_delta[name]:.3f}", f"{l1_delta[name]:.3f}")
+            for name in config_names]
+    return {
+        "relative_core_power": relative,
+        "relative_rs_power": rs_delta,
+        "relative_l1d_power": l1_delta,
+        "unit_breakdown": units,
+        "text": format_table(["config", "core power", "RS power", "L1-D power"], rows,
+                             title="Fig. 19: dynamic power relative to baseline"),
+    }
+
+
+# ======================================================================= Fig 20
+
+def fig20_sensitivity(runner: Optional[ExperimentRunner] = None,
+                      load_widths: Sequence[int] = (3, 4, 5, 6),
+                      depth_scales: Sequence[float] = (1.0, 2.0, 4.0)) -> Dict[str, object]:
+    """Fig. 20: sensitivity to load execution width and pipeline depth."""
+    runner = runner or default_runner()
+    runner.run_config("baseline", baseline_config())
+    width_results: Dict[int, Dict[str, float]] = {}
+    for width in load_widths:
+        base_name = f"baseline_w{width}"
+        cons_name = f"constable_w{width}"
+        runner.run_config(base_name, baseline_config().with_load_width(width))
+        runner.run_config(cons_name, constable_config().with_load_width(width))
+        width_results[width] = {
+            "baseline": runner.geomean_speedup(base_name),
+            "constable": runner.geomean_speedup(cons_name),
+        }
+    depth_results: Dict[float, Dict[str, float]] = {}
+    for scale in depth_scales:
+        base_name = f"baseline_d{scale}"
+        cons_name = f"constable_d{scale}"
+        runner.run_config(base_name, baseline_config().with_depth_scale(scale))
+        runner.run_config(cons_name, constable_config().with_depth_scale(scale))
+        depth_results[scale] = {
+            "baseline": runner.geomean_speedup(base_name),
+            "constable": runner.geomean_speedup(cons_name),
+        }
+    rows = [(f"load width {w}", f"{v['baseline']:.3f}", f"{v['constable']:.3f}")
+            for w, v in width_results.items()]
+    rows += [(f"depth x{s}", f"{v['baseline']:.3f}", f"{v['constable']:.3f}")
+             for s, v in depth_results.items()]
+    return {"load_width": width_results, "pipeline_depth": depth_results,
+            "text": format_table(["sweep point", "baseline", "constable"], rows,
+                                 title="Fig. 20: sensitivity to load width and pipeline depth")}
+
+
+# ======================================================================= Fig 21
+
+def fig21_ordering_violations(runner: Optional[ExperimentRunner] = None) -> Dict[str, object]:
+    """Fig. 21: memory-ordering violations by eliminated loads and ROB allocation increase."""
+    runner = runner or default_runner()
+    runner.run_config("baseline", baseline_config())
+    results = runner.run_config("constable", constable_config())
+    violation_fractions = []
+    for result in results.values():
+        eliminated = max(1, int((result.constable_stats or {}).get("loads_eliminated", 0)))
+        violations = int((result.constable_stats or {}).get("ordering_violations", 0))
+        violation_fractions.append(violations / eliminated)
+    rob_ratio = runner.metric_ratio(
+        "constable", lambda r: r.resource_stats.get("rob_allocations", 0))
+    rob_increase = [value - 1.0 for value in rob_ratio.values()]
+    result = {
+        "violation_fraction": box_whisker_summary(violation_fractions),
+        "rob_allocation_increase": box_whisker_summary(rob_increase),
+    }
+    result["text"] = format_table(
+        ["metric", "mean", "max"],
+        [("eliminated loads violating ordering",
+          f"{result['violation_fraction']['mean'] * 100:.3f}%",
+          f"{result['violation_fraction']['max'] * 100:.3f}%"),
+         ("increase in allocated instructions",
+          f"{result['rob_allocation_increase']['mean'] * 100:.2f}%",
+          f"{result['rob_allocation_increase']['max'] * 100:.2f}%")],
+        title="Fig. 21: cost of eliminated-load memory-ordering violations")
+    return result
+
+
+# ======================================================================= Fig 22
+
+def fig22_amt_invalidation(runner: Optional[ExperimentRunner] = None) -> Dict[str, object]:
+    """Fig. 22: CV-bit pinning vs invalidating AMT entries on every L1 eviction."""
+    runner = runner or default_runner()
+    runner.run_config("baseline", baseline_config())
+    vanilla = runner.run_config("constable", constable_config())
+    amt_i = runner.run_config(
+        "constable_amt_i",
+        constable_config(constable=constable_engine_config(
+            amt_invalidate_on_l1_eviction=True, pin_cv_bits=False)))
+    speedup_vanilla = runner.geomean_speedup("constable")
+    speedup_amt_i = runner.geomean_speedup("constable_amt_i")
+
+    def _avg_coverage(results) -> float:
+        values = [(r.constable_stats or {}).get("elimination_coverage", 0.0)
+                  for r in results.values()]
+        return sum(values) / len(values) if values else 0.0
+
+    result = {
+        "speedup": {"constable": speedup_vanilla, "constable_amt_i": speedup_amt_i},
+        "coverage": {"constable": _avg_coverage(vanilla),
+                     "constable_amt_i": _avg_coverage(amt_i)},
+    }
+    rows = [("constable (CV-bit pinning)", f"{speedup_vanilla:.3f}",
+             f"{result['coverage']['constable'] * 100:.1f}%"),
+            ("constable-AMT-I (invalidate on eviction)", f"{speedup_amt_i:.3f}",
+             f"{result['coverage']['constable_amt_i'] * 100:.1f}%")]
+    result["text"] = format_table(["variant", "speedup", "coverage"], rows,
+                                  title="Fig. 22: CV-bit pinning vs AMT invalidation")
+    return result
+
+
+# =================================================================== Fig 23 / 24
+
+def fig23_fig24_apx_study(per_suite: int = 2, instructions: int = 6000) -> Dict[str, object]:
+    """Figs. 23-24: effect of doubling the architectural registers (APX) on
+    dynamic load count, global-stable fraction and addressing-mode mix."""
+    base_runner = ExperimentRunner(per_suite=per_suite, instructions=instructions,
+                                   num_registers=16)
+    apx_runner = ExperimentRunner(per_suite=per_suite, instructions=instructions,
+                                  num_registers=32)
+    load_reduction = []
+    fraction_16 = []
+    fraction_32 = []
+    modes_16: Dict[str, List[float]] = {}
+    modes_32: Dict[str, List[float]] = {}
+    apx_workloads = apx_runner.workloads()
+    for name, run in base_runner.workloads().items():
+        apx_run = apx_workloads[name]
+        base_loads = run.report.total_dynamic_loads()
+        apx_loads = apx_run.report.total_dynamic_loads()
+        if base_loads:
+            load_reduction.append(1.0 - apx_loads / base_loads)
+        fraction_16.append(run.report.global_stable_dynamic_fraction())
+        fraction_32.append(apx_run.report.global_stable_dynamic_fraction())
+        for mode, value in run.report.addressing_mode_breakdown().items():
+            modes_16.setdefault(mode, []).append(value)
+        for mode, value in apx_run.report.addressing_mode_breakdown().items():
+            modes_32.setdefault(mode, []).append(value)
+
+    def _avg(values: List[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    result = {
+        "dynamic_load_reduction_with_apx": _avg(load_reduction),
+        "global_stable_fraction": {"16_registers": _avg(fraction_16),
+                                   "32_registers": _avg(fraction_32)},
+        "addressing_mode_breakdown": {
+            "16_registers": {mode: _avg(values) for mode, values in modes_16.items()},
+            "32_registers": {mode: _avg(values) for mode, values in modes_32.items()},
+        },
+    }
+    rows = [
+        ("dynamic loads removed by APX", f"{result['dynamic_load_reduction_with_apx'] * 100:.1f}%"),
+        ("global-stable fraction (16 regs)",
+         f"{result['global_stable_fraction']['16_registers'] * 100:.1f}%"),
+        ("global-stable fraction (32 regs)",
+         f"{result['global_stable_fraction']['32_registers'] * 100:.1f}%"),
+        ("stack-relative share (16 regs)",
+         f"{result['addressing_mode_breakdown']['16_registers'].get('stack', 0) * 100:.1f}%"),
+        ("stack-relative share (32 regs)",
+         f"{result['addressing_mode_breakdown']['32_registers'].get('stack', 0) * 100:.1f}%"),
+    ]
+    result["text"] = format_table(["metric", "value"], rows,
+                                  title="Figs. 23-24: APX (32 architectural registers) study")
+    return result
+
+
+# ======================================================================= Tables
+
+def table1_storage_overhead() -> Dict[str, object]:
+    """Table 1: per-structure storage overhead of Constable."""
+    report = storage_overhead_report(ConstableConfig())
+    rows = [(name.upper(), f"{kb:.2f} KB") for name, kb in report.items()]
+    return {"storage_kb": report,
+            "text": format_table(["structure", "storage"], rows,
+                                 title="Table 1: Constable storage overhead")}
+
+
+def table3_energy_estimates(use_calibrated: bool = True) -> Dict[str, object]:
+    """Table 3: access energy, leakage and area of Constable's structures."""
+    estimates = constable_structure_estimates(use_calibrated=use_calibrated)
+    rows = [(est.name, f"{est.size_kb:.1f} KB", f"{est.read_energy_pj:.2f}",
+             f"{est.write_energy_pj:.2f}", f"{est.leakage_mw:.2f}", f"{est.area_mm2:.3f}")
+            for est in estimates.values()]
+    return {"estimates": {key: vars(est) if not hasattr(est, "__dict__") else {
+                field: getattr(est, field) for field in
+                ("name", "size_kb", "read_ports", "write_ports", "read_energy_pj",
+                 "write_energy_pj", "leakage_mw", "area_mm2")}
+            for key, est in estimates.items()},
+            "text": format_table(
+                ["structure", "size", "read pJ", "write pJ", "leakage mW", "area mm2"], rows,
+                title="Table 3: Constable structure energy/area estimates")}

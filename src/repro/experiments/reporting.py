@@ -1,0 +1,61 @@
+"""Plain-text reporting helpers for experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string (0.051 -> '5.1%')."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_speedup(value: float, digits: int = 3) -> str:
+    """Format a speedup ratio (1.051 -> '1.051x')."""
+    return f"{value:.{digits}f}x"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a simple fixed-width text table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Mapping[str, object], title: str = "") -> str:
+    """Render a key/value mapping as a two-column table."""
+    return format_table(["metric", "value"],
+                        [(key, value) for key, value in mapping.items()],
+                        title=title)
+
+
+def per_suite_table(per_suite: Mapping[str, Mapping[str, float]],
+                    value_format=format_speedup, title: str = "") -> str:
+    """Render a {suite: {config: value}} mapping in the paper's figure layout."""
+    suites = list(per_suite.keys())
+    configs: List[str] = []
+    for values in per_suite.values():
+        for name in values:
+            if name not in configs:
+                configs.append(name)
+    rows = []
+    for config in configs:
+        row = [config]
+        for suite in suites:
+            value = per_suite[suite].get(config)
+            row.append(value_format(value) if value is not None else "-")
+        rows.append(row)
+    return format_table(["config"] + suites, rows, title=title)

@@ -1,0 +1,179 @@
+"""Experiment runner: generates workloads once and runs named configurations over them.
+
+The runner caches traces, Load Inspector reports and simulation results, so a
+figure harness that shares configurations with another figure does not pay for
+the simulation twice.  Workload count and trace length are parameters: the
+benchmarks use a reduced set (a few workloads per suite, a few thousand
+instructions) so the whole suite finishes in minutes, while the full
+90-workload sweep of the paper is available by passing ``per_suite=None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.load_inspector import GlobalStableReport, inspect_trace
+from repro.analysis.stats_utils import geomean
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.cpu import OutOfOrderCore
+from repro.pipeline.smt import SmtResult, simulate_smt_pair
+from repro.pipeline.stats import SimulationResult
+from repro.workloads.generator import generate_trace
+from repro.workloads.suites import SUITE_NAMES, WorkloadSpec, workload_specs_for_suite
+from repro.workloads.trace import Trace
+
+#: A configuration may be a CoreConfig, a zero-argument factory, or a builder
+#: taking (trace, report) - the latter is needed by oracle-based configurations.
+ConfigLike = Union[CoreConfig, Callable[[], CoreConfig],
+                   Callable[[Trace, GlobalStableReport], CoreConfig]]
+
+
+@dataclass
+class WorkloadRun:
+    """Everything computed for one workload."""
+
+    spec: WorkloadSpec
+    trace: Trace
+    report: GlobalStableReport
+    results: Dict[str, SimulationResult] = field(default_factory=dict)
+
+
+class ExperimentRunner:
+    """Runs named configurations over a (possibly reduced) workload set."""
+
+    def __init__(self, per_suite: Optional[int] = 2, instructions: int = 6000,
+                 num_registers: int = 16,
+                 suites: Sequence[str] = SUITE_NAMES,
+                 attach_stats_oracle: bool = True):
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        self.per_suite = per_suite
+        self.instructions = instructions
+        self.num_registers = num_registers
+        self.suites = list(suites)
+        self.attach_stats_oracle = attach_stats_oracle
+        self._workloads: Optional[Dict[str, WorkloadRun]] = None
+
+    # ---------------------------------------------------------------- workloads
+
+    def specs(self) -> List[WorkloadSpec]:
+        """The workload specs covered by this runner."""
+        specs: List[WorkloadSpec] = []
+        for suite in self.suites:
+            suite_specs = workload_specs_for_suite(suite)
+            if self.per_suite is not None:
+                suite_specs = suite_specs[:self.per_suite]
+            specs.extend(suite_specs)
+        return specs
+
+    def workloads(self) -> Dict[str, WorkloadRun]:
+        """Generate (and cache) every workload trace and its Load Inspector report."""
+        if self._workloads is None:
+            self._workloads = {}
+            for spec in self.specs():
+                trace = generate_trace(spec, num_instructions=self.instructions,
+                                       num_registers=self.num_registers)
+                report = inspect_trace(trace)
+                self._workloads[spec.name] = WorkloadRun(spec=spec, trace=trace, report=report)
+        return self._workloads
+
+    # ------------------------------------------------------------------ running
+
+    def _materialise_config(self, config: ConfigLike, run: WorkloadRun) -> CoreConfig:
+        if isinstance(config, CoreConfig):
+            materialised = config
+        else:
+            try:
+                materialised = config(run.trace, run.report)  # type: ignore[call-arg]
+            except TypeError:
+                materialised = config()  # type: ignore[call-arg]
+        if self.attach_stats_oracle and materialised.stats_oracle_pcs is None:
+            materialised = materialised.copy(
+                stats_oracle_pcs=run.report.global_stable_pcs())
+        return materialised
+
+    def run_config(self, name: str, config: ConfigLike,
+                   workload_names: Optional[Sequence[str]] = None) -> Dict[str, SimulationResult]:
+        """Run ``config`` over the workload set; results are cached by ``name``."""
+        results: Dict[str, SimulationResult] = {}
+        for workload_name, run in self.workloads().items():
+            if workload_names is not None and workload_name not in workload_names:
+                continue
+            if name not in run.results:
+                core_config = self._materialise_config(config, run)
+                core = OutOfOrderCore(core_config, [run.trace], name=name)
+                run.results[name] = core.run()
+            results[workload_name] = run.results[name]
+        return results
+
+    # ---------------------------------------------------------------- reporting
+
+    def speedups(self, config_name: str, baseline_name: str = "baseline") -> Dict[str, float]:
+        """Per-workload speedup of ``config_name`` over ``baseline_name``."""
+        speedups: Dict[str, float] = {}
+        for workload_name, run in self.workloads().items():
+            if config_name in run.results and baseline_name in run.results:
+                speedups[workload_name] = (run.results[baseline_name].cycles
+                                           / run.results[config_name].cycles)
+        return speedups
+
+    def geomean_speedup(self, config_name: str, baseline_name: str = "baseline") -> float:
+        values = list(self.speedups(config_name, baseline_name).values())
+        return geomean(values) if values else 1.0
+
+    def speedups_by_suite(self, config_name: str,
+                          baseline_name: str = "baseline") -> Dict[str, float]:
+        """Geomean speedup per suite plus the overall geomean (key ``GEOMEAN``)."""
+        by_suite: Dict[str, List[float]] = {suite: [] for suite in self.suites}
+        for workload_name, value in self.speedups(config_name, baseline_name).items():
+            suite = self.workloads()[workload_name].spec.suite
+            by_suite[suite].append(value)
+        summary = {suite: (geomean(values) if values else 1.0)
+                   for suite, values in by_suite.items()}
+        all_values = [v for values in by_suite.values() for v in values]
+        summary["GEOMEAN"] = geomean(all_values) if all_values else 1.0
+        return summary
+
+    def metric_ratio(self, config_name: str, metric: Callable[[SimulationResult], float],
+                     baseline_name: str = "baseline") -> Dict[str, float]:
+        """Per-workload ratio of an arbitrary metric against the baseline."""
+        ratios: Dict[str, float] = {}
+        for workload_name, run in self.workloads().items():
+            if config_name in run.results and baseline_name in run.results:
+                base_value = metric(run.results[baseline_name])
+                new_value = metric(run.results[config_name])
+                if base_value:
+                    ratios[workload_name] = new_value / base_value
+        return ratios
+
+    # --------------------------------------------------------------------- SMT
+
+    def smt_pairs(self, max_pairs: Optional[int] = None) -> List[Tuple[str, str]]:
+        """Deterministic cross-suite workload pairings for SMT2 experiments."""
+        names = list(self.workloads().keys())
+        pairs: List[Tuple[str, str]] = []
+        half = len(names) // 2
+        for index in range(half):
+            pairs.append((names[index], names[index + half]))
+        if max_pairs is not None:
+            pairs = pairs[:max_pairs]
+        return pairs
+
+    def run_smt_config(self, name: str, config: ConfigLike,
+                       max_pairs: Optional[int] = None) -> Dict[Tuple[str, str], SmtResult]:
+        """Run an SMT2 configuration over the cross-suite pairs."""
+        results: Dict[Tuple[str, str], SmtResult] = {}
+        workloads = self.workloads()
+        for pair in self.smt_pairs(max_pairs):
+            first = workloads[pair[0]]
+            second_spec = workloads[pair[1]].spec
+            # Regenerate the second trace at a different code base so the two
+            # threads do not alias in the PC-indexed predictors.
+            second_trace = generate_trace(second_spec, num_instructions=self.instructions,
+                                          num_registers=self.num_registers,
+                                          base_pc=0x800000)
+            core_config = self._materialise_config(config, first)
+            results[pair] = simulate_smt_pair(first.trace, second_trace,
+                                              core_config, name=name)
+        return results

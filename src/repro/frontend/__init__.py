@@ -1,0 +1,17 @@
+"""Front-end models: branch prediction and branch target buffer."""
+
+from repro.frontend.branch_predictor import (
+    BimodalPredictor,
+    TagePredictor,
+    TageConfig,
+    BranchPredictor,
+)
+from repro.frontend.btb import BranchTargetBuffer
+
+__all__ = [
+    "BimodalPredictor",
+    "TagePredictor",
+    "TageConfig",
+    "BranchPredictor",
+    "BranchTargetBuffer",
+]

@@ -1,0 +1,189 @@
+"""Conditional branch predictors: bimodal and a TAGE-like tagged predictor.
+
+The paper's baseline uses TAGE/ITTAGE.  The TAGE model here keeps the
+essential structure - a bimodal base predictor plus several tagged tables
+indexed with geometrically increasing global-history lengths, provider/altpred
+selection, useful-bit based allocation - while staying small enough to run
+fast in Python.  Unconditional jumps are always predicted correctly (their
+targets are static in the synthetic ISA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+class BimodalPredictor:
+    """2-bit saturating-counter predictor indexed by PC."""
+
+    def __init__(self, entries: int = 8192):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._counters = [2] * entries  # weakly taken
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.entries
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(counter + 1, 3)
+        else:
+            self._counters[index] = max(counter - 1, 0)
+
+
+@dataclass
+class TageConfig:
+    """Geometry of the TAGE-like predictor."""
+
+    base_entries: int = 8192
+    tagged_entries: int = 1024
+    num_tables: int = 4
+    min_history: int = 4
+    max_history: int = 64
+    tag_bits: int = 10
+    counter_max: int = 3  # 3-bit signed counter range [-4, 3]
+
+
+class _TaggedEntry:
+    __slots__ = ("tag", "counter", "useful")
+
+    def __init__(self, tag: int = 0, counter: int = 0, useful: int = 0):
+        self.tag = tag
+        self.counter = counter
+        self.useful = useful
+
+
+class TagePredictor:
+    """TAGE-like predictor: bimodal base + tagged tables with geometric histories."""
+
+    def __init__(self, config: Optional[TageConfig] = None):
+        self.config = config or TageConfig()
+        cfg = self.config
+        self.base = BimodalPredictor(cfg.base_entries)
+        self._tables: List[List[Optional[_TaggedEntry]]] = [
+            [None] * cfg.tagged_entries for _ in range(cfg.num_tables)
+        ]
+        # Geometric history lengths between min_history and max_history.
+        self.history_lengths = []
+        ratio = (cfg.max_history / cfg.min_history) ** (1.0 / max(cfg.num_tables - 1, 1))
+        length = float(cfg.min_history)
+        for _ in range(cfg.num_tables):
+            self.history_lengths.append(int(round(length)))
+            length *= ratio
+        self._global_history = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    # ------------------------------------------------------------------ hashing
+
+    def _folded_history(self, length: int, bits: int) -> int:
+        history = self._global_history & ((1 << length) - 1)
+        folded = 0
+        while history:
+            folded ^= history & ((1 << bits) - 1)
+            history >>= bits
+        return folded
+
+    def _index(self, pc: int, table: int) -> int:
+        cfg = self.config
+        bits = cfg.tagged_entries.bit_length() - 1
+        fold = self._folded_history(self.history_lengths[table], bits)
+        return ((pc >> 2) ^ fold ^ (table * 0x9E5)) % cfg.tagged_entries
+
+    def _tag(self, pc: int, table: int) -> int:
+        cfg = self.config
+        fold = self._folded_history(self.history_lengths[table], cfg.tag_bits)
+        return ((pc >> 2) ^ (fold << 1) ^ table) & ((1 << cfg.tag_bits) - 1)
+
+    # --------------------------------------------------------------- prediction
+
+    def _find_provider(self, pc: int) -> Tuple[Optional[int], Optional[_TaggedEntry]]:
+        for table in reversed(range(self.config.num_tables)):
+            entry = self._tables[table][self._index(pc, table)]
+            if entry is not None and entry.tag == self._tag(pc, table):
+                return table, entry
+        return None, None
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the conditional branch at ``pc``."""
+        self.predictions += 1
+        _, entry = self._find_provider(pc)
+        if entry is not None:
+            return entry.counter >= 0
+        return self.base.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the predictor with the resolved outcome."""
+        cfg = self.config
+        provider_table, provider = self._find_provider(pc)
+        predicted = (provider.counter >= 0) if provider is not None else self.base.predict(pc)
+        if predicted != taken:
+            self.mispredictions += 1
+
+        if provider is not None:
+            if taken:
+                provider.counter = min(provider.counter + 1, cfg.counter_max)
+            else:
+                provider.counter = max(provider.counter - 1, -cfg.counter_max - 1)
+            if predicted == taken:
+                provider.useful = min(provider.useful + 1, 3)
+            else:
+                provider.useful = max(provider.useful - 1, 0)
+        else:
+            self.base.update(pc, taken)
+
+        # Allocate a new entry in a longer-history table on a misprediction.
+        if predicted != taken:
+            start = (provider_table + 1) if provider_table is not None else 0
+            for table in range(start, cfg.num_tables):
+                index = self._index(pc, table)
+                entry = self._tables[table][index]
+                if entry is None or entry.useful == 0:
+                    self._tables[table][index] = _TaggedEntry(
+                        tag=self._tag(pc, table), counter=0 if taken else -1, useful=0)
+                    break
+
+        self._global_history = ((self._global_history << 1) | int(taken)) & ((1 << 128) - 1)
+
+    def misprediction_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+class BranchPredictor:
+    """Front-end facade: direction prediction for branches, always-correct jumps."""
+
+    def __init__(self, tage_config: Optional[TageConfig] = None):
+        self.direction = TagePredictor(tage_config)
+        self.conditional_predictions = 0
+        self.conditional_mispredictions = 0
+
+    def predict_taken(self, pc: int, is_conditional: bool) -> bool:
+        """Predict whether the branch at ``pc`` is taken."""
+        if not is_conditional:
+            return True
+        return self.direction.predict(pc)
+
+    def resolve(self, pc: int, is_conditional: bool, predicted: bool, taken: bool) -> bool:
+        """Train with the outcome; returns True if the branch was mispredicted."""
+        if not is_conditional:
+            return False
+        self.conditional_predictions += 1
+        self.direction.update(pc, taken)
+        mispredicted = predicted != taken
+        if mispredicted:
+            self.conditional_mispredictions += 1
+        return mispredicted
+
+    def misprediction_rate(self) -> float:
+        if self.conditional_predictions == 0:
+            return 0.0
+        return self.conditional_mispredictions / self.conditional_predictions

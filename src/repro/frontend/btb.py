@@ -1,0 +1,31 @@
+"""Branch target buffer: caches taken-branch targets for the fetch stage."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class BranchTargetBuffer:
+    """A direct-mapped BTB with a simple tag check."""
+
+    def __init__(self, entries: int = 4096):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._targets: Dict[int, tuple] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Return the cached target for ``pc``, or None on a BTB miss."""
+        index = pc % self.entries
+        entry = self._targets.get(index)
+        if entry is not None and entry[0] == pc:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Install or refresh the target of a taken branch."""
+        self._targets[pc % self.entries] = (pc, target)

@@ -1,0 +1,200 @@
+"""Static program representation and a tiny assembler for building synthetic kernels.
+
+Workload kernels (`repro.workloads.kernels`) are written against
+:class:`ProgramBuilder`, which resolves labels to program counters and produces
+an immutable :class:`Program` the functional VM executes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import MemOperand, OpClass, StaticInstruction
+
+#: Byte distance between consecutive static instructions.
+INSTRUCTION_SIZE = 4
+
+
+class Label:
+    """A forward-referencable position in a program under construction."""
+
+    __slots__ = ("name", "pc")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.pc: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Label({self.name!r}, pc={self.pc})"
+
+
+class Program:
+    """An immutable static program: a PC-indexed map of instructions."""
+
+    def __init__(self, instructions: List[StaticInstruction], entry_pc: int):
+        if not instructions:
+            raise ValueError("a program must contain at least one instruction")
+        self._by_pc: Dict[int, StaticInstruction] = {i.pc: i for i in instructions}
+        if len(self._by_pc) != len(instructions):
+            raise ValueError("duplicate program counters in program")
+        if entry_pc not in self._by_pc:
+            raise ValueError("entry PC is not part of the program")
+        self._instructions = list(instructions)
+        self.entry_pc = entry_pc
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._by_pc
+
+    def fetch(self, pc: int) -> StaticInstruction:
+        """Return the static instruction at ``pc``."""
+        return self._by_pc[pc]
+
+    def instructions(self) -> List[StaticInstruction]:
+        """All static instructions in program order."""
+        return list(self._instructions)
+
+    def next_pc(self, pc: int) -> int:
+        """Fall-through PC after ``pc``."""
+        return pc + INSTRUCTION_SIZE
+
+    def loads(self) -> List[StaticInstruction]:
+        """All static load instructions."""
+        return [i for i in self._instructions if i.is_load]
+
+    def stores(self) -> List[StaticInstruction]:
+        """All static store instructions."""
+        return [i for i in self._instructions if i.is_store]
+
+
+class ProgramBuilder:
+    """A tiny two-pass assembler for synthetic programs.
+
+    Instructions are laid out at consecutive PCs starting at ``base_pc``;
+    branch targets may be :class:`Label` objects created with :meth:`label`
+    (place them with :meth:`place`) and are resolved when :meth:`build` runs.
+    """
+
+    def __init__(self, base_pc: int = 0x400000):
+        self._base_pc = base_pc
+        self._records: List[Tuple[StaticInstruction, Optional[Label]]] = []
+        self._labels: List[Label] = []
+
+    # ------------------------------------------------------------------ labels
+
+    def label(self, name: str) -> Label:
+        """Create a label that can be placed later and used as a branch target."""
+        lab = Label(name)
+        self._labels.append(lab)
+        return lab
+
+    def place(self, label: Label) -> Label:
+        """Bind ``label`` to the PC of the next emitted instruction."""
+        label.pc = self._next_pc()
+        return label
+
+    def here(self, name: str = "here") -> Label:
+        """Create a label bound to the next instruction (shorthand for label+place)."""
+        return self.place(self.label(name))
+
+    def _next_pc(self) -> int:
+        return self._base_pc + len(self._records) * INSTRUCTION_SIZE
+
+    def _emit(self, opclass: OpClass, *, dest: Optional[int] = None,
+              srcs: Tuple[int, ...] = (), alu_op: str = "add", imm: int = 0,
+              mem: Optional[MemOperand] = None, target: Optional[Label] = None,
+              cond: str = "", size: int = 8) -> StaticInstruction:
+        pc = self._next_pc()
+        # Branch targets are patched in build(); use a placeholder for now.
+        placeholder = pc if target is not None else None
+        inst = StaticInstruction(
+            pc=pc, opclass=opclass, dest=dest, srcs=srcs, alu_op=alu_op, imm=imm,
+            mem=mem, branch_target=placeholder, cond=cond, size=size,
+        )
+        self._records.append((inst, target))
+        return inst
+
+    # --------------------------------------------------------------- non-memory
+
+    def alu(self, dest: int, srcs: Tuple[int, ...] = (), op: str = "add",
+            imm: int = 0) -> StaticInstruction:
+        """Single-cycle integer operation ``dest = op(srcs, imm)``."""
+        return self._emit(OpClass.ALU, dest=dest, srcs=tuple(srcs), alu_op=op, imm=imm)
+
+    def addi(self, dest: int, src: int, imm: int) -> StaticInstruction:
+        """``dest = src + imm``."""
+        return self.alu(dest, (src,), op="add", imm=imm)
+
+    def mul(self, dest: int, srcs: Tuple[int, ...]) -> StaticInstruction:
+        """Integer multiply."""
+        return self._emit(OpClass.MUL, dest=dest, srcs=tuple(srcs), alu_op="mul")
+
+    def div(self, dest: int, srcs: Tuple[int, ...]) -> StaticInstruction:
+        """Integer divide (long latency)."""
+        return self._emit(OpClass.DIV, dest=dest, srcs=tuple(srcs), alu_op="div")
+
+    def movi(self, dest: int, imm: int) -> StaticInstruction:
+        """Move an immediate into a register (zero/constant-idiom candidate)."""
+        return self._emit(OpClass.MOVE_IMM, dest=dest, imm=imm, alu_op="mov")
+
+    def movr(self, dest: int, src: int) -> StaticInstruction:
+        """Register-to-register move (move-elimination candidate)."""
+        return self._emit(OpClass.MOVE_REG, dest=dest, srcs=(src,), alu_op="mov")
+
+    def nop(self) -> StaticInstruction:
+        """No-operation."""
+        return self._emit(OpClass.NOP)
+
+    # ------------------------------------------------------------------- memory
+
+    def load(self, dest: int, base: Optional[int] = None, index: Optional[int] = None,
+             scale: int = 1, disp: int = 0, size: int = 8) -> StaticInstruction:
+        """Load ``dest`` from ``[base + index*scale + disp]``."""
+        mem = MemOperand(base=base, index=index, scale=scale, disp=disp)
+        return self._emit(OpClass.LOAD, dest=dest, mem=mem, size=size)
+
+    def load_global(self, dest: int, address: int, size: int = 8) -> StaticInstruction:
+        """PC-relative load from a fixed global address."""
+        return self.load(dest, base=None, index=None, disp=address, size=size)
+
+    def store(self, src: int, base: Optional[int] = None, index: Optional[int] = None,
+              scale: int = 1, disp: int = 0, size: int = 8) -> StaticInstruction:
+        """Store ``src`` to ``[base + index*scale + disp]``."""
+        mem = MemOperand(base=base, index=index, scale=scale, disp=disp)
+        return self._emit(OpClass.STORE, srcs=(src,), mem=mem, size=size)
+
+    def store_global(self, src: int, address: int, size: int = 8) -> StaticInstruction:
+        """PC-relative store to a fixed global address."""
+        return self.store(src, base=None, index=None, disp=address, size=size)
+
+    # ------------------------------------------------------------------ control
+
+    def jnz(self, reg: int, target: Label) -> StaticInstruction:
+        """Branch to ``target`` if ``reg`` is non-zero."""
+        return self._emit(OpClass.BRANCH, srcs=(reg,), target=target, cond="nz")
+
+    def jz(self, reg: int, target: Label) -> StaticInstruction:
+        """Branch to ``target`` if ``reg`` is zero."""
+        return self._emit(OpClass.BRANCH, srcs=(reg,), target=target, cond="z")
+
+    def jmp(self, target: Label) -> StaticInstruction:
+        """Unconditional jump to ``target``."""
+        return self._emit(OpClass.JUMP, target=target, cond="always")
+
+    # -------------------------------------------------------------------- build
+
+    def build(self, entry: Optional[Label] = None) -> Program:
+        """Resolve labels and return the finished :class:`Program`."""
+        instructions = []
+        for inst, target in self._records:
+            if target is not None:
+                if target.pc is None:
+                    raise ValueError(f"label {target.name!r} was never placed")
+                inst.branch_target = target.pc
+            instructions.append(inst)
+        entry_pc = self._base_pc if entry is None else entry.pc
+        if entry_pc is None:
+            raise ValueError("entry label was never placed")
+        return Program(instructions, entry_pc=entry_pc)

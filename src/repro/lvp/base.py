@@ -1,0 +1,67 @@
+"""Common interface for load value predictors.
+
+A predictor is consulted at rename time for every load; if it is confident it
+returns a value that breaks the load's data dependence.  The load still
+executes to verify the prediction; a mismatch at writeback flushes the younger
+window, just like a branch misprediction (paper §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class ValuePrediction:
+    """Outcome of one prediction attempt."""
+
+    predicted: bool
+    value: int = 0
+    component: str = ""
+
+
+class LoadValuePredictor:
+    """Abstract load value predictor interface."""
+
+    name = "lvp"
+
+    def __init__(self):
+        self.attempts = 0
+        self.predictions = 0
+        self.correct = 0
+        self.incorrect = 0
+
+    def predict(self, pc: int, branch_history: int = 0) -> ValuePrediction:
+        """Predict the value of the load at ``pc`` (called at rename)."""
+        raise NotImplementedError
+
+    def train(self, pc: int, actual_value: int, branch_history: int = 0) -> None:
+        """Train the predictor with the load's actual value (called at writeback)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------- stats
+
+    def record_outcome(self, prediction: ValuePrediction, actual_value: int) -> bool:
+        """Account the verification outcome; returns True if the prediction was correct."""
+        self.attempts += 1
+        if not prediction.predicted:
+            return True
+        self.predictions += 1
+        if prediction.value == actual_value:
+            self.correct += 1
+            return True
+        self.incorrect += 1
+        return False
+
+    def coverage(self) -> float:
+        """Fraction of loads for which a prediction was made."""
+        if self.attempts == 0:
+            return 0.0
+        return self.predictions / self.attempts
+
+    def accuracy(self) -> float:
+        """Fraction of made predictions that were correct."""
+        if self.predictions == 0:
+            return 0.0
+        return self.correct / self.predictions

@@ -1,0 +1,64 @@
+"""Lipasti-style constant-load value predictor (LLVP).
+
+Lipasti et al. (ASPLOS 1996) predict "constant loads": loads whose value
+repeats.  The classification table is a per-PC last-value table with a small
+confidence counter; the paper contrasts LLVP's data-fetch-only elimination
+against Constable's full elimination (§7), so the predictor here is primarily
+a comparison point in the headroom experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.lvp.base import LoadValuePredictor, ValuePrediction
+
+
+@dataclass
+class LipastiConfig:
+    """LLVP table geometry."""
+
+    entries: int = 2048
+    confidence_threshold: int = 3
+    confidence_max: int = 3
+
+
+class _LastValueEntry:
+    __slots__ = ("value", "confidence")
+
+    def __init__(self, value: int):
+        self.value = value
+        self.confidence = 0
+
+
+class LipastiPredictor(LoadValuePredictor):
+    """Per-PC last-value predictor with a 2-bit confidence counter."""
+
+    name = "llvp"
+
+    def __init__(self, config: Optional[LipastiConfig] = None):
+        super().__init__()
+        self.config = config or LipastiConfig()
+        self._table: Dict[int, _LastValueEntry] = {}
+
+    def predict(self, pc: int, branch_history: int = 0) -> ValuePrediction:
+        del branch_history
+        entry = self._table.get(pc)
+        if entry is not None and entry.confidence >= self.config.confidence_threshold:
+            return ValuePrediction(predicted=True, value=entry.value, component="last_value")
+        return ValuePrediction(predicted=False)
+
+    def train(self, pc: int, actual_value: int, branch_history: int = 0) -> None:
+        del branch_history
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.config.entries:
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = _LastValueEntry(actual_value)
+            return
+        if entry.value == actual_value:
+            entry.confidence = min(entry.confidence + 1, self.config.confidence_max)
+        else:
+            entry.value = actual_value
+            entry.confidence = 0

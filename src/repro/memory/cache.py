@@ -1,0 +1,136 @@
+"""Set-associative cache model with LRU replacement.
+
+The cache tracks presence only (tags, not data): the functional values come
+from the trace, so the timing model needs hit/miss behaviour, occupancy and
+eviction notifications (the latter feed the coherence directory and the
+Constable-AMT-I variant of Fig. 22).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_size: int = 64
+    latency: int = 5
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_size <= 0:
+            raise ValueError("cache geometry values must be positive")
+        if self.size_bytes % (self.ways * self.line_size) != 0:
+            raise ValueError(
+                f"{self.name}: size must be a multiple of ways*line_size "
+                f"({self.size_bytes} % {self.ways * self.line_size})"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_size)
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    prefetch_fills: int = 0
+    invalidations: int = 0
+
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "prefetch_fills": self.prefetch_fills,
+            "invalidations": self.invalidations,
+        }
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache tracking line presence."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStats()
+        self._num_sets = config.num_sets
+        # Each set is an ordered list of line addresses, most recently used last.
+        self._sets: List[List[int]] = [[] for _ in range(self._num_sets)]
+
+    # ------------------------------------------------------------------ helpers
+
+    def line_address(self, address: int) -> int:
+        """Align ``address`` down to its cache line."""
+        return address - (address % self.config.line_size)
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.config.line_size) % self._num_sets
+
+    # ------------------------------------------------------------------- access
+
+    def probe(self, address: int) -> bool:
+        """Check presence without updating replacement state or statistics."""
+        line = self.line_address(address)
+        return line in self._sets[self._set_index(line)]
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Look up ``address``; returns True on hit.  Misses do not fill."""
+        del is_write  # presence-only model: loads and stores behave identically
+        self.stats.accesses += 1
+        line = self.line_address(address)
+        cache_set = self._sets[self._set_index(line)]
+        if line in cache_set:
+            self.stats.hits += 1
+            cache_set.remove(line)
+            cache_set.append(line)
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, address: int, from_prefetch: bool = False) -> Optional[int]:
+        """Insert the line containing ``address``; returns the evicted line, if any."""
+        line = self.line_address(address)
+        index = self._set_index(line)
+        cache_set = self._sets[index]
+        if line in cache_set:
+            cache_set.remove(line)
+            cache_set.append(line)
+            return None
+        evicted = None
+        if len(cache_set) >= self.config.ways:
+            evicted = cache_set.pop(0)
+            self.stats.evictions += 1
+        cache_set.append(line)
+        if from_prefetch:
+            self.stats.prefetch_fills += 1
+        return evicted
+
+    def invalidate(self, address: int) -> bool:
+        """Remove the line containing ``address``; returns True if it was present."""
+        line = self.line_address(address)
+        cache_set = self._sets[self._set_index(line)]
+        if line in cache_set:
+            cache_set.remove(line)
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def resident_lines(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,60 @@
+"""Data TLB model: a small fully-counted set-associative translation cache.
+
+Only the access counts (for the MEU power breakdown of Fig. 19) and a modest
+miss penalty matter; page-table walks are modelled as a fixed latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class TlbConfig:
+    """DTLB geometry and miss penalty."""
+
+    entries: int = 96
+    ways: int = 6
+    page_size: int = 4096
+    miss_penalty: int = 25
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0 or self.ways <= 0:
+            raise ValueError("TLB geometry must be positive")
+        if self.entries % self.ways != 0:
+            raise ValueError("TLB entries must be a multiple of ways")
+
+
+class Tlb:
+    """LRU set-associative DTLB."""
+
+    def __init__(self, config: TlbConfig = TlbConfig()):
+        self.config = config
+        self._num_sets = config.entries // config.ways
+        self._sets: List[List[int]] = [[] for _ in range(self._num_sets)]
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+
+    def translate(self, address: int) -> int:
+        """Access the TLB for ``address``; returns the extra latency (0 on hit)."""
+        self.accesses += 1
+        page = address // self.config.page_size
+        index = page % self._num_sets
+        tlb_set = self._sets[index]
+        if page in tlb_set:
+            self.hits += 1
+            tlb_set.remove(page)
+            tlb_set.append(page)
+            return 0
+        self.misses += 1
+        if len(tlb_set) >= self.config.ways:
+            tlb_set.pop(0)
+        tlb_set.append(page)
+        return self.config.miss_penalty
+
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses

@@ -1,0 +1,893 @@
+"""Trace-driven, cycle-level out-of-order core model.
+
+The model is occupancy- and port-accurate where it matters for Constable:
+loads contend for reservation-station entries and load execution units, their
+latency is set by the cache hierarchy, stores resolve addresses at execution
+and can catch younger loads (including eliminated ones) violating memory
+ordering, and the retire stage runs the golden check of paper §8.5 comparing
+the value Constable supplied against the functional trace.
+
+Functional correctness always comes from the trace; the simulator only decides
+*when* things happen - except for eliminated / ideally-handled loads, whose
+values come from Constable's structures and are therefore checked at retire.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.backend.dependence import MemoryDependencePredictor
+from repro.backend.ports import ExecutionPorts, PortKind
+from repro.backend.resources import ResourcePool
+from repro.backend.store_queue import StoreQueue
+from repro.core.constable import ConstableEngine
+from repro.core.ideal import IdealMode, IdealOracle
+from repro.frontend.branch_predictor import BranchPredictor
+from repro.isa.instruction import DynamicInstruction, OpClass
+from repro.lvp.eves import EvesPredictor
+from repro.lvp.llvp import LipastiPredictor
+from repro.memory.coherence import Directory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.stats import PipelineStats, SimulationResult
+from repro.pipeline.uop import InflightOp
+from repro.prior.elar import EarlyLoadAddressResolver
+from repro.prior.rfp import RegisterFilePrefetcher
+from repro.rename.memory_renaming import MemoryRenamer
+from repro.rename.optimizations import OptimizationKind, RenameOptimizer
+from repro.rename.rat import RegisterAliasTable
+from repro.workloads.trace import Trace
+
+#: The simulated core's identifier in the coherence directory.
+OWN_CORE = 0
+
+
+class GoldenCheckError(AssertionError):
+    """Raised when a retired load's value/address disagrees with the functional trace."""
+
+
+class _ThreadState:
+    """Per-hardware-thread front-end and window state."""
+
+    def __init__(self, thread_id: int, trace: Trace, config: CoreConfig,
+                 rob_capacity: int, lb_capacity: int, sb_capacity: int):
+        self.thread_id = thread_id
+        self.trace = trace
+        self.instructions = trace.instructions
+        self.snoops = list(trace.snoops)
+        self.snoop_index = 0
+        self.fetch_index = 0
+        self.fetch_blocked_until = 0
+        self.pending_redirect_seq: Optional[int] = None
+        self.idq: deque = deque()
+        self.rob: List[InflightOp] = []
+        self.load_buffer: List[InflightOp] = []
+        self.store_queue = StoreQueue()
+        self.rat: RegisterAliasTable = RegisterAliasTable(config.num_registers)
+        self.rob_pool = ResourcePool(f"ROB.t{thread_id}", rob_capacity)
+        self.lb_pool = ResourcePool(f"LB.t{thread_id}", lb_capacity)
+        self.sb_pool = ResourcePool(f"SB.t{thread_id}", sb_capacity)
+        self.branch_history = 0
+        self.constable: Optional[ConstableEngine] = None
+        self.lvp = None
+        self.mrn: Optional[MemoryRenamer] = None
+        self.retired_instructions = 0
+        self.finish_cycle: Optional[int] = None
+
+    def fetch_done(self) -> bool:
+        return self.fetch_index >= len(self.instructions)
+
+    def done(self) -> bool:
+        return self.fetch_done() and not self.rob and not self.idq
+
+
+class OutOfOrderCore:
+    """The simulated core: one or two hardware threads over shared execution resources."""
+
+    def __init__(self, config: CoreConfig, traces: Sequence[Trace],
+                 name: str = "baseline"):
+        if not traces:
+            raise ValueError("at least one trace is required")
+        if len(traces) > 2:
+            raise ValueError("at most two hardware threads (2-way SMT) are supported")
+        self.config = config
+        self.name = name
+        self.smt = len(traces) > 1
+        self.stats = PipelineStats()
+        self.ports = ExecutionPorts(config.ports)
+        self.hierarchy = MemoryHierarchy(config.memory)
+        self.directory = Directory(num_cores=config.num_cores,
+                                   line_size=config.memory.l1d.line_size)
+        self.branch_predictor = BranchPredictor()
+        self.dependence_predictor = MemoryDependencePredictor()
+        self.rename_optimizer = RenameOptimizer(config.rename_optimizations)
+        self.elar = EarlyLoadAddressResolver() if config.enable_elar else None
+        self.rfp = RegisterFilePrefetcher() if config.enable_rfp else None
+        self.rs_pool = ResourcePool("RS", config.sizes.rs)
+
+        partition = 2 if self.smt else 1
+        self.threads: List[_ThreadState] = []
+        for thread_id, trace in enumerate(traces):
+            thread = _ThreadState(
+                thread_id, trace, config,
+                rob_capacity=max(8, config.sizes.rob // partition),
+                lb_capacity=max(4, config.sizes.load_buffer // partition),
+                sb_capacity=max(4, config.sizes.store_buffer // partition),
+            )
+            if config.constable is not None:
+                thread.constable = ConstableEngine(config.constable,
+                                                   num_registers=config.num_registers)
+            if config.lvp == "eves":
+                thread.lvp = EvesPredictor()
+            elif config.lvp == "llvp":
+                thread.lvp = LipastiPredictor()
+            if config.enable_memory_renaming:
+                thread.mrn = MemoryRenamer()
+            self.threads.append(thread)
+
+        self.oracle: Optional[IdealOracle] = config.ideal_oracle
+        if self.oracle is not None:
+            self.oracle.reset_runtime_state()
+        self.stats_oracle_pcs: Set[int] = set(config.stats_oracle_pcs or ())
+
+        # Coherence bookkeeping: CV bits follow L1 fills and evictions.
+        self.hierarchy.l1_fill_listeners.append(self._on_l1_fill)
+        self.hierarchy.l1_eviction_listeners.append(self._on_l1_eviction)
+
+        self.cycle = 0
+        self._completion_heap: List[Tuple[int, int, InflightOp]] = []
+        self._heap_counter = 0
+        self._rs_waiting: List[InflightOp] = []
+        self._denied_nonstable_load_this_cycle = False
+        self._issued_loads_this_cycle: List[InflightOp] = []
+
+    # ------------------------------------------------------------------ helpers
+
+    def _on_l1_fill(self, line_address: int) -> None:
+        self.directory.record_fill(line_address, OWN_CORE)
+
+    def _on_l1_eviction(self, line_address: int) -> None:
+        self.directory.record_eviction(line_address, OWN_CORE)
+        for thread in self.threads:
+            if thread.constable is not None:
+                thread.constable.on_l1_eviction(line_address)
+
+    def _schedule_completion(self, op: InflightOp, finish_cycle: int) -> None:
+        self._heap_counter += 1
+        op.finish_cycle = finish_cycle
+        heapq.heappush(self._completion_heap, (finish_cycle, self._heap_counter, op))
+
+    @staticmethod
+    def _word(address: int) -> int:
+        return address & ~0x7
+
+    # ===================================================================== fetch
+
+    def _deliver_snoops(self, thread: _ThreadState) -> None:
+        """Deliver snoop events anchored before the next instruction to fetch."""
+        next_seq = (thread.instructions[thread.fetch_index].seq
+                    if not thread.fetch_done() else None)
+        while thread.snoop_index < len(thread.snoops):
+            snoop = thread.snoops[thread.snoop_index]
+            if next_seq is not None and snoop.after_seq > next_seq:
+                break
+            thread.snoop_index += 1
+            if self.directory.snoop_reaches_core(snoop.address, OWN_CORE):
+                self.hierarchy.invalidate_line(snoop.address)
+                if thread.constable is not None:
+                    thread.constable.on_snoop(snoop.address)
+
+    def _apply_wrong_path_noise(self, thread: _ThreadState, pc: int) -> None:
+        """Emulate wrong-path instructions updating Constable's RMT/SLD (Fig. 9b)."""
+        constable = thread.constable
+        if constable is None or not constable.config.wrong_path_updates:
+            return
+        # Deterministic pseudo-random register choices derived from the branch PC.
+        registers = [(pc >> 3) % self.config.num_registers,
+                     (pc >> 7) % self.config.num_registers]
+        for register in registers:
+            constable.on_register_write(register)
+
+    def _fetch_thread(self, thread: _ThreadState, budget: int) -> int:
+        fetched = 0
+        while (fetched < budget and not thread.fetch_done()
+               and len(thread.idq) < self.config.idq_entries
+               and self.cycle >= thread.fetch_blocked_until
+               and thread.pending_redirect_seq is None):
+            self._deliver_snoops(thread)
+            dyn = thread.instructions[thread.fetch_index]
+            thread.idq.append((dyn, thread.fetch_index))
+            thread.fetch_index += 1
+            fetched += 1
+            self.stats.uops_fetched += 1
+            if dyn.is_branch:
+                is_conditional = dyn.static.opclass is OpClass.BRANCH
+                predicted = self.branch_predictor.predict_taken(dyn.pc, is_conditional)
+                if is_conditional:
+                    self.stats.branches_predicted += 1
+                if predicted != dyn.branch_taken:
+                    # Fetch must wait until the branch resolves (trace-driven model).
+                    thread.pending_redirect_seq = dyn.seq
+                    self.stats.branch_mispredictions += 1
+                    self._apply_wrong_path_noise(thread, dyn.pc)
+                    break
+        return fetched
+
+    def _fetch_stage(self) -> None:
+        budget = self.config.fetch_width
+        if self.smt:
+            per_thread = max(1, budget // len(self.threads))
+            for offset in range(len(self.threads)):
+                thread = self.threads[(self.cycle + offset) % len(self.threads)]
+                self._fetch_thread(thread, per_thread)
+        else:
+            self._fetch_thread(self.threads[0], budget)
+
+    # ==================================================================== rename
+
+    def _producer_sources(self, thread: _ThreadState, dyn: DynamicInstruction,
+                          op: InflightOp) -> None:
+        for register in dyn.static.source_registers():
+            producer = thread.rat.producer_of(register)
+            if producer is not None and not producer.squashed:
+                ready = producer.value_ready_cycle
+                if ready is None or ready > self.cycle:
+                    op.depends_on.append(producer)
+
+    def _rename_load(self, thread: _ThreadState, op: InflightOp) -> None:
+        dyn = op.dyn
+        config = self.config
+        mode = dyn.static.addressing_mode()
+        op.oracle_stable = dyn.pc in self.stats_oracle_pcs
+        if op.oracle_stable:
+            self.stats.oracle_stable_loads_renamed += 1
+
+        # Ideal oracle mechanisms (Fig. 7) take precedence over everything else.
+        if self.oracle is not None and self.oracle.covers(dyn.pc):
+            op.ideal_covered = True
+            address, value = self.oracle.known_value(dyn.pc)
+            op.ideal_address, op.ideal_value = address, value
+            if self.oracle.mode is IdealMode.CONSTABLE:
+                op.eliminated = True
+                op.constable_address, op.constable_value = address, value
+                op.needs_rs = False
+                op.executed_at_rename = True
+                op.mark_complete(self.cycle)
+                op.value_obtained_cycle = self.cycle
+                return
+            # Both stable-LVP modes break the data dependence immediately.
+            op.mark_value_ready(self.cycle)
+            op.value_obtained_cycle = self.cycle
+            return
+
+        # Constable (the real mechanism).
+        if thread.constable is not None:
+            decision = thread.constable.on_load_rename(dyn.pc, mode)
+            op.likely_stable = decision.likely_stable
+            if decision.eliminate:
+                op.eliminated = True
+                op.constable_value = decision.value
+                op.constable_address = decision.address
+                op.needs_rs = False
+                op.executed_at_rename = True
+                op.mark_complete(self.cycle)
+                op.value_obtained_cycle = self.cycle
+                return
+
+        # Load value prediction (EVES / LLVP).
+        if thread.lvp is not None:
+            prediction = thread.lvp.predict(dyn.pc, thread.branch_history)
+            if prediction.predicted:
+                op.lvp_prediction = prediction
+                op.mark_value_ready(self.cycle)
+                op.value_obtained_cycle = self.cycle
+                self.stats.value_predicted_loads += 1
+
+        # Memory renaming: break the data dependence if a paired store is in flight.
+        if thread.mrn is not None and op.lvp_prediction is None:
+            store_pc = thread.mrn.predicted_store_pc(dyn.pc)
+            if store_pc is not None:
+                for record in reversed(thread.store_queue.records()):
+                    if record.pc == store_pc:
+                        op.mrn_store = record
+                        op.mrn_predicted = True
+                        op.mark_value_ready(self.cycle)
+                        break
+
+        # ELAR / RFP.
+        if self.elar is not None and self.elar.can_resolve_early(dyn):
+            op.elar_early = True
+        if self.rfp is not None:
+            predicted_address = self.rfp.issue_prefetch(dyn.pc)
+            if predicted_address is not None:
+                op.rfp_address = predicted_address
+                self.hierarchy.load_access(predicted_address, dyn.pc)
+
+    def _rename_one(self, thread: _ThreadState, dyn: DynamicInstruction,
+                    trace_index: int, loads_renamed_this_cycle: int) -> Optional[InflightOp]:
+        """Rename a single micro-op; returns None if allocation must stall."""
+        config = self.config
+
+        # Per-cycle SLD read-port limit (§6.7.1): stall beyond three loads/cycle.
+        if (thread.constable is not None and dyn.is_load
+                and loads_renamed_this_cycle >= config.constable.sld_read_ports):
+            self.stats.rename_stalls_sld_ports += 1
+            return None
+        if (thread.constable is not None
+                and thread.constable.sld_updates_this_cycle > config.constable.sld_write_ports):
+            self.stats.rename_stalls_sld_ports += 1
+            return None
+
+        op = InflightOp(dyn, thread.thread_id, trace_index, self.cycle)
+        op.optimization = self.rename_optimizer.classify(dyn)
+
+        # Resource checks (no partial allocation: check first, then claim).
+        if not thread.rob_pool.can_allocate():
+            return None
+        if dyn.is_load and not thread.lb_pool.can_allocate():
+            return None
+        if dyn.is_store and not thread.sb_pool.can_allocate():
+            return None
+
+        self._producer_sources(thread, dyn, op)
+
+        if op.optimization is not OptimizationKind.NONE:
+            # Folded/eliminated at rename: completes immediately, no RS, no port.
+            op.needs_rs = False
+            op.executed_at_rename = True
+            op.mark_complete(self.cycle)
+        elif dyn.is_load:
+            self._rename_load(thread, op)
+        elif dyn.is_store:
+            op.port_kind = PortKind.STORE_ADDRESS
+        elif (dyn.is_branch
+              or dyn.static.opclass in (OpClass.ALU, OpClass.MUL, OpClass.DIV,
+                                        OpClass.MOVE_REG, OpClass.MOVE_IMM)):
+            # Non-folded moves execute on an ALU port like any other integer op.
+            op.port_kind = PortKind.ALU
+        else:
+            op.needs_rs = False
+            op.executed_at_rename = True
+            op.mark_complete(self.cycle)
+
+        if dyn.is_load and not op.eliminated and op.optimization is OptimizationKind.NONE:
+            op.port_kind = PortKind.LOAD
+
+        needs_rs = op.needs_rs and not op.executed_at_rename
+        if needs_rs and not self.rs_pool.can_allocate():
+            return None
+
+        # Claim resources.
+        thread.rob_pool.allocate()
+        if dyn.is_load:
+            thread.lb_pool.allocate()
+        if dyn.is_store:
+            thread.sb_pool.allocate()
+            op.store_record = thread.store_queue.insert(dyn.seq, dyn.pc)
+        if needs_rs:
+            self.rs_pool.allocate()
+            op.in_rs = True
+            self._rs_waiting.append(op)
+
+        # Constable: every destination write is visible to the RMT (steps 7-8).
+        if thread.constable is not None and dyn.static.dest is not None:
+            thread.constable.on_register_write(dyn.static.dest)
+
+        # Update the RAT and the window.
+        if dyn.static.dest is not None:
+            thread.rat.set_producer(dyn.static.dest, op)
+        thread.rob.append(op)
+        if dyn.is_load:
+            thread.load_buffer.append(op)
+
+        # Branch history for context-based value prediction.
+        if dyn.is_branch:
+            thread.branch_history = ((thread.branch_history << 1)
+                                     | int(dyn.branch_taken)) & ((1 << 64) - 1)
+
+        # Bookkeeping.
+        self.stats.uops_renamed += 1
+        if dyn.is_load:
+            self.stats.loads_renamed += 1
+        elif dyn.is_store:
+            self.stats.stores_renamed += 1
+        elif dyn.is_branch:
+            self.stats.branches_renamed += 1
+        return op
+
+    def _rename_stage(self) -> None:
+        budget = self.config.rename_width
+        thread_order = [self.threads[(self.cycle + i) % len(self.threads)]
+                        for i in range(len(self.threads))]
+        loads_this_cycle = {thread.thread_id: 0 for thread in self.threads}
+        stalled = {thread.thread_id: False for thread in self.threads}
+        renamed = 0
+        while renamed < budget:
+            progress = False
+            for thread in thread_order:
+                if renamed >= budget or stalled[thread.thread_id] or not thread.idq:
+                    continue
+                dyn, trace_index = thread.idq[0]
+                op = self._rename_one(thread, dyn, trace_index,
+                                      loads_this_cycle[thread.thread_id])
+                if op is None:
+                    stalled[thread.thread_id] = True
+                    continue
+                thread.idq.popleft()
+                if dyn.is_load:
+                    loads_this_cycle[thread.thread_id] += 1
+                renamed += 1
+                progress = True
+            if not progress:
+                break
+
+    # ===================================================================== issue
+
+    def _load_latency(self, thread: _ThreadState, op: InflightOp) -> int:
+        config = self.config
+        dyn = op.dyn
+        address = dyn.address
+
+        # Register-file prefetching: a correct address prediction hides the access.
+        if self.rfp is not None and op.rfp_address is not None:
+            if self.rfp.verify(op.rfp_address, address):
+                return config.agu_latency + 1
+
+        # Store-to-load forwarding from the same thread's store queue.
+        forwarding = thread.store_queue.forwarding_candidate(dyn.seq, address)
+        if forwarding is not None and forwarding.data_ready:
+            self.stats.loads_forwarded_from_store += 1
+            latency = config.agu_latency + config.store_forward_latency
+        else:
+            memory_latency, _ = self.hierarchy.load_access(address, dyn.pc)
+            latency = config.agu_latency + memory_latency
+
+        if op.elar_early and self.elar is not None:
+            latency = max(1, latency - self.elar.latency_savings())
+        return latency
+
+    def _execute_store_address(self, thread: _ThreadState, op: InflightOp) -> None:
+        """A store generated its address: AMT lookup, MRN training, ordering check."""
+        dyn = op.dyn
+        record = op.store_record
+        record.address = dyn.address
+        record.line_address = dyn.address - (dyn.address % self.config.memory.l1d.line_size)
+        record.value = dyn.store_value
+        record.address_ready = True
+        record.data_ready = True
+
+        if thread.constable is not None:
+            thread.constable.on_store_address(dyn.address)
+        if thread.mrn is not None:
+            thread.mrn.observe_store(dyn.pc, dyn.address, dyn.seq)
+
+        # Memory disambiguation (paper §6.5): younger loads that already obtained
+        # a value for the same word must be squashed and re-executed.
+        victim: Optional[InflightOp] = None
+        store_word = self._word(dyn.address)
+        for load in thread.load_buffer:
+            if load.squashed or load.seq <= dyn.seq:
+                continue
+            load_address = load.constable_address if load.eliminated else load.dyn.address
+            if self._word(load_address) != store_word:
+                continue
+            obtained = load.value_obtained_cycle
+            if obtained is not None and obtained <= self.cycle:
+                if victim is None or load.seq < victim.seq:
+                    victim = load
+        if victim is not None:
+            self.stats.ordering_violation_flushes += 1
+            self.dependence_predictor.train_violation(victim.pc)
+            if victim.eliminated and thread.constable is not None:
+                thread.constable.on_ordering_violation(victim.pc)
+            self._flush_from(thread, victim, reason="ordering")
+
+    def _issue_stage(self) -> None:
+        config = self.config
+        self._denied_nonstable_load_this_cycle = False
+        self._issued_loads_this_cycle = []
+        still_waiting: List[InflightOp] = []
+        for op in self._rs_waiting:
+            if op.squashed:
+                continue
+            if op.issued:
+                continue
+            thread = self.threads[op.thread]
+            if not op.sources_ready(self.cycle):
+                still_waiting.append(op)
+                continue
+            if (op.is_load
+                    and self.dependence_predictor.should_wait_for_stores(op.pc)
+                    and thread.store_queue.has_unresolved_older_store(op.seq)):
+                still_waiting.append(op)
+                continue
+            kind = op.port_kind or PortKind.ALU
+            if not self.ports.issue(kind):
+                if op.is_load and not op.oracle_stable:
+                    self._denied_nonstable_load_this_cycle = True
+                still_waiting.append(op)
+                continue
+
+            op.issued = True
+            op.issue_cycle = self.cycle
+            self.rs_pool.release()
+            op.in_rs = False
+            self.stats.rs_issues += 1
+
+            opclass = op.dyn.static.opclass
+            if op.is_load:
+                ideal_fetch_elim = (op.ideal_covered and self.oracle is not None
+                                    and self.oracle.mode is IdealMode.STABLE_LVP_FETCH_ELIM)
+                if ideal_fetch_elim:
+                    latency = config.agu_latency
+                else:
+                    latency = self._load_latency(thread, op)
+                self.stats.loads_executed += 1
+                self.stats.agu_ops += 1
+                self._issued_loads_this_cycle.append(op)
+                if op.value_obtained_cycle is None:
+                    op.value_obtained_cycle = self.cycle + latency
+            elif op.is_store:
+                latency = config.agu_latency
+                self.stats.agu_ops += 1
+            elif opclass is OpClass.MUL:
+                latency = config.mul_latency
+                self.stats.mul_ops += 1
+            elif opclass is OpClass.DIV:
+                latency = config.div_latency
+                self.stats.div_ops += 1
+            else:
+                latency = config.alu_latency
+                self.stats.alu_ops += 1
+
+            self._schedule_completion(op, self.cycle + latency)
+
+        self._rs_waiting = still_waiting
+
+        if self._issued_loads_this_cycle:
+            self.stats.load_utilized_cycles += 1
+            stable_issued = any(op.oracle_stable for op in self._issued_loads_this_cycle)
+            if stable_issued and self._denied_nonstable_load_this_cycle:
+                self.stats.load_utilized_cycles_stable_blocking += 1
+            elif stable_issued:
+                self.stats.load_utilized_cycles_stable_only += 1
+
+    # ================================================================= writeback
+
+    def _writeback_load(self, thread: _ThreadState, op: InflightOp) -> None:
+        dyn = op.dyn
+        actual_value = dyn.load_value
+        address = dyn.address
+
+        if self.oracle is not None and self.oracle.is_stable(dyn.pc):
+            self.oracle.observe_execution(dyn.pc, address, actual_value)
+
+        # Value prediction verification and training.
+        if thread.lvp is not None:
+            if op.lvp_prediction is not None:
+                correct = thread.lvp.record_outcome(op.lvp_prediction, actual_value)
+                if correct:
+                    self.stats.value_predictions_correct += 1
+                else:
+                    self.stats.lvp_misprediction_flushes += 1
+                    self._flush_after(thread, op, reason="lvp")
+            else:
+                thread.lvp.record_outcome(op.lvp_prediction or _NO_PREDICTION, actual_value)
+            thread.lvp.train(dyn.pc, actual_value, thread.branch_history)
+
+        # Memory renaming verification and training.
+        if thread.mrn is not None:
+            if op.mrn_predicted and op.mrn_store is not None:
+                correct = (not op.mrn_store.address_ready
+                           or op.mrn_store.overlaps(address))
+                thread.mrn.record_prediction(correct)
+                if not correct:
+                    self.stats.mrn_misprediction_flushes += 1
+                    self._flush_after(thread, op, reason="mrn")
+            thread.mrn.observe_load(dyn.pc, address, dyn.seq)
+
+        # Register-file prefetcher training.
+        if self.rfp is not None:
+            self.rfp.train(dyn.pc, address)
+
+        # Constable: confidence update and (for likely-stable loads) RMT/AMT insertion.
+        if thread.constable is not None:
+            pin = thread.constable.on_load_writeback(
+                dyn.pc, address, actual_value,
+                dyn.static.source_registers(), op.likely_stable)
+            if pin:
+                self.directory.pin(address, OWN_CORE)
+
+        self.dependence_predictor.observe_safe_execution(dyn.pc)
+
+    def _writeback_stage(self) -> None:
+        while self._completion_heap and self._completion_heap[0][0] <= self.cycle:
+            _, _, op = heapq.heappop(self._completion_heap)
+            if op.squashed:
+                continue
+            thread = self.threads[op.thread]
+            op.mark_complete(self.cycle)
+            if op.is_load:
+                self._writeback_load(thread, op)
+            elif op.is_store:
+                self._execute_store_address(thread, op)
+            elif op.dyn.is_branch:
+                is_conditional = op.dyn.static.opclass is OpClass.BRANCH
+                predicted = self.branch_predictor.predict_taken(op.pc, is_conditional)
+                self.branch_predictor.resolve(op.pc, is_conditional, predicted,
+                                              op.dyn.branch_taken)
+                if thread.pending_redirect_seq == op.seq:
+                    thread.pending_redirect_seq = None
+                    thread.fetch_blocked_until = self.cycle + self.config.frontend_refill_cycles
+
+    # ==================================================================== retire
+
+    def _golden_check(self, op: InflightOp) -> None:
+        dyn = op.dyn
+        self.stats.golden_checks += 1
+        if op.eliminated and not op.reexecuted:
+            if op.constable_value != dyn.load_value or op.constable_address != dyn.address:
+                raise GoldenCheckError(
+                    f"eliminated load at pc={dyn.pc:#x} seq={dyn.seq} retired with "
+                    f"value={op.constable_value:#x} addr={op.constable_address:#x}, "
+                    f"functional value={dyn.load_value:#x} addr={dyn.address:#x}")
+        if op.ideal_covered and op.constable_value == 0 and op.eliminated is False:
+            # Ideal stable LVP modes execute the load, nothing extra to check.
+            return
+
+    def _retire_thread(self, thread: _ThreadState, budget: int) -> int:
+        retired = 0
+        while retired < budget and thread.rob:
+            op = thread.rob[0]
+            if not op.complete or (op.complete_cycle is not None
+                                   and op.complete_cycle > self.cycle):
+                break
+            thread.rob.pop(0)
+            if op.is_load:
+                self._golden_check(op)
+                if op in thread.load_buffer:
+                    thread.load_buffer.remove(op)
+                thread.lb_pool.release()
+                if op.eliminated:
+                    self.stats.eliminated_loads_retired += 1
+                    if op.oracle_stable:
+                        self.stats.eliminated_oracle_stable_loads += 1
+                    else:
+                        self.stats.eliminated_non_stable_loads += 1
+                    if thread.constable is not None:
+                        thread.constable.release_xprf()
+            if op.is_store:
+                self.hierarchy.store_access(op.dyn.address, op.pc)
+                self.stats.store_commits += 1
+                thread.store_queue.remove(op.seq)
+                thread.sb_pool.release()
+            if op.dest is not None:
+                thread.rat.clear_producer(op.dest, op)
+            thread.rob_pool.release()
+            op.retired = True
+            retired += 1
+            thread.retired_instructions += 1
+            self.stats.instructions_retired += 1
+        if thread.done() and thread.finish_cycle is None:
+            thread.finish_cycle = self.cycle
+        return retired
+
+    def _retire_stage(self) -> None:
+        budget = self.config.retire_width
+        if self.smt:
+            per_thread = max(1, budget // len(self.threads))
+            for thread in self.threads:
+                self._retire_thread(thread, per_thread)
+        else:
+            self._retire_thread(self.threads[0], budget)
+
+    # ===================================================================== flush
+
+    def _squash(self, thread: _ThreadState, op: InflightOp) -> None:
+        op.squashed = True
+        if op.in_rs:
+            self.rs_pool.release()
+            op.in_rs = False
+        if op.is_load:
+            if op in thread.load_buffer:
+                thread.load_buffer.remove(op)
+            thread.lb_pool.release()
+            if op.eliminated and thread.constable is not None:
+                thread.constable.release_xprf()
+        if op.is_store:
+            thread.sb_pool.release()
+        if op.dest is not None:
+            thread.rat.clear_producer(op.dest, op)
+        thread.rob_pool.release()
+        self.stats.reexecuted_uops += 1
+
+    def _flush_from(self, thread: _ThreadState, first_victim: InflightOp,
+                    reason: str) -> None:
+        """Squash ``first_victim`` and everything younger in its thread, then refetch."""
+        self.stats.flushes += 1
+        if first_victim.is_load:
+            first_victim.reexecuted = True
+        try:
+            start = thread.rob.index(first_victim)
+        except ValueError:
+            return
+        victims = thread.rob[start:]
+        del thread.rob[start:]
+        for op in victims:
+            self._squash(thread, op)
+        thread.store_queue.squash_younger_than(first_victim.seq - 1)
+        self._rs_waiting = [op for op in self._rs_waiting if not op.squashed]
+        thread.rat.rebuild(thread.rob, lambda op: op.dest if not op.squashed else None)
+        thread.idq.clear()
+        thread.fetch_index = first_victim.trace_index
+        thread.pending_redirect_seq = None
+        thread.fetch_blocked_until = self.cycle + self.config.flush_penalty
+        del reason
+
+    def _flush_after(self, thread: _ThreadState, op: InflightOp, reason: str) -> None:
+        """Squash everything younger than ``op`` (value-misprediction recovery)."""
+        try:
+            index = thread.rob.index(op)
+        except ValueError:
+            return
+        if index + 1 < len(thread.rob):
+            self._flush_from(thread, thread.rob[index + 1], reason)
+        else:
+            # Nothing younger in flight; only the front-end needs to restart.
+            thread.idq.clear()
+            thread.fetch_index = op.trace_index + 1
+            thread.pending_redirect_seq = None
+            thread.fetch_blocked_until = self.cycle + self.config.flush_penalty
+            self.stats.flushes += 1
+
+    # ======================================================================= run
+
+    def run(self) -> SimulationResult:
+        """Simulate until every thread has drained; returns the result record."""
+        total_instructions = sum(len(t.instructions) for t in self.threads)
+        max_cycles = total_instructions * self.config.max_cycles_per_instruction + 10_000
+        while not all(thread.done() for thread in self.threads):
+            self.cycle += 1
+            if self.cycle > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles; likely a deadlock")
+            self.ports.new_cycle()
+            for thread in self.threads:
+                if thread.constable is not None:
+                    thread.constable.begin_cycle()
+            self._retire_stage()
+            self._writeback_stage()
+            self._issue_stage()
+            self._rename_stage()
+            self._fetch_stage()
+            for thread in self.threads:
+                if thread.constable is not None:
+                    self.stats.record_sld_updates(thread.constable.sld_updates_this_cycle)
+        self.stats.cycles = self.cycle
+        return self._build_result()
+
+    # ---------------------------------------------------------------- reporting
+
+    def _power_events(self) -> Dict[str, int]:
+        stats = self.stats
+        hierarchy = self.hierarchy
+        events: Dict[str, int] = {
+            "uops_fetched": stats.uops_fetched,
+            "uops_decoded": stats.uops_fetched,
+            "uops_renamed": stats.uops_renamed,
+            "branches_predicted": stats.branches_predicted,
+            "rs_allocations": self.rs_pool.total_allocations,
+            "rs_issues": stats.rs_issues,
+            "rob_allocations": sum(t.rob_pool.total_allocations for t in self.threads),
+            "retired": stats.instructions_retired,
+            "alu_ops": stats.alu_ops,
+            "mul_ops": stats.mul_ops,
+            "div_ops": stats.div_ops,
+            "agu_ops": stats.agu_ops,
+            "l1d_accesses": hierarchy.l1d.stats.accesses,
+            "dtlb_accesses": hierarchy.dtlb.accesses,
+            "l2_accesses": hierarchy.l2.stats.accesses,
+            "llc_accesses": hierarchy.llc.stats.accesses,
+            "dram_accesses": hierarchy.dram.accesses(),
+            "store_commits": stats.store_commits,
+            "cycles": self.cycle,
+        }
+        if self.config.lvp is not None:
+            events["lvp_accesses"] = stats.loads_renamed
+        if self.config.enable_memory_renaming:
+            events["mrn_accesses"] = stats.loads_renamed + stats.stores_renamed
+        for thread in self.threads:
+            if thread.constable is not None:
+                engine = thread.constable
+                # One SLD read per renamed load (rename-stage lookup), one write per
+                # executed load (confidence update) plus the can_eliminate resets.
+                events["sld_reads"] = events.get("sld_reads", 0) + stats.loads_renamed
+                events["sld_writes"] = (events.get("sld_writes", 0)
+                                        + stats.loads_executed
+                                        + engine.stats.sld_update_events)
+                events["rmt_accesses"] = (events.get("rmt_accesses", 0)
+                                          + engine.rmt.insertions + engine.rmt.consumes)
+                events["amt_accesses"] = (events.get("amt_accesses", 0)
+                                          + engine.amt.insertions + engine.amt.consumes)
+        return events
+
+    def _build_result(self) -> SimulationResult:
+        constable_stats = None
+        engines = [t.constable for t in self.threads if t.constable is not None]
+        if engines:
+            constable_stats = {}
+            for engine in engines:
+                for key, value in engine.stats.as_dict().items():
+                    constable_stats[key] = constable_stats.get(key, 0) + value
+            constable_stats["elimination_coverage"] = (
+                sum(e.stats.loads_eliminated for e in engines)
+                / max(1, sum(e.stats.loads_seen for e in engines)))
+            constable_stats["xprf_failure_rate"] = (
+                sum(e.xprf.allocation_failures for e in engines)
+                / max(1, sum(e.xprf.total_allocations + e.xprf.allocation_failures
+                             for e in engines)))
+
+        lvp_stats = None
+        predictors = [t.lvp for t in self.threads if t.lvp is not None]
+        if predictors:
+            lvp_stats = {
+                "coverage": (sum(p.predictions for p in predictors)
+                             / max(1, sum(p.attempts for p in predictors))),
+                "accuracy": (sum(p.correct for p in predictors)
+                             / max(1, sum(p.predictions for p in predictors))),
+                "predictions": sum(p.predictions for p in predictors),
+            }
+
+        per_thread = []
+        for thread in self.threads:
+            per_thread.append({
+                "thread": thread.thread_id,
+                "trace": thread.trace.name,
+                "instructions": thread.retired_instructions,
+                "finish_cycle": thread.finish_cycle or self.cycle,
+                "ipc": thread.retired_instructions / max(1, thread.finish_cycle or self.cycle),
+            })
+
+        resource_stats = {
+            "rs_allocations": self.rs_pool.total_allocations,
+            "rs_allocation_stalls": self.rs_pool.allocation_stalls,
+            "rob_allocations": sum(t.rob_pool.total_allocations for t in self.threads),
+            "lb_allocations": sum(t.lb_pool.total_allocations for t in self.threads),
+            "sb_allocations": sum(t.sb_pool.total_allocations for t in self.threads),
+            "rs_peak_occupancy": self.rs_pool.peak_occupancy,
+        }
+
+        return SimulationResult(
+            trace_name="+".join(t.trace.name for t in self.threads),
+            config_name=self.name,
+            cycles=self.cycle,
+            instructions=self.stats.instructions_retired,
+            stats=self.stats,
+            power_events=self._power_events(),
+            memory_stats=self.hierarchy.stats_summary(),
+            constable_stats=constable_stats,
+            lvp_stats=lvp_stats,
+            resource_stats=resource_stats,
+            per_thread=per_thread,
+        )
+
+
+class _NoPrediction:
+    """Sentinel standing in for "no prediction made" when accounting LVP outcomes."""
+
+    predicted = False
+    value = 0
+    component = ""
+
+
+_NO_PREDICTION = _NoPrediction()
+
+
+def simulate_trace(trace: Trace, config: Optional[CoreConfig] = None,
+                   name: str = "baseline") -> SimulationResult:
+    """Convenience wrapper: simulate a single trace on a single hardware thread."""
+    config = config or CoreConfig()
+    core = OutOfOrderCore(config, [trace], name=name)
+    return core.run()

@@ -1,0 +1,67 @@
+"""2-way simultaneous multithreading support (paper §8.1, §9.1.2).
+
+In the SMT2 configuration two hardware threads share the fetch/rename/issue
+bandwidth, the reservation station and the execution ports, while the ROB,
+load buffer and store buffer are statically partitioned - following the
+paper's description of resources being "statically-partitioned or
+dynamically-shared".  Each thread gets its own Constable/LVP/MRN instances.
+
+The helper here runs a pair of traces on one SMT core and reports both raw and
+per-thread figures; the experiments layer computes speedups against the
+SMT baseline run of the same pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.cpu import OutOfOrderCore
+from repro.pipeline.stats import SimulationResult
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class SmtResult:
+    """Result of one SMT2 simulation."""
+
+    result: SimulationResult
+    per_thread_ipc: List[float] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+    @property
+    def total_instructions(self) -> int:
+        return self.result.instructions
+
+    def throughput(self) -> float:
+        """Aggregate instructions per cycle across both threads."""
+        if self.result.cycles == 0:
+            return 0.0
+        return self.result.instructions / self.result.cycles
+
+    def weighted_speedup_over(self, baseline: "SmtResult") -> float:
+        """Per-thread-IPC weighted speedup against another SMT run of the same pair."""
+        if not baseline.per_thread_ipc or len(baseline.per_thread_ipc) != len(self.per_thread_ipc):
+            raise ValueError("baseline must come from the same thread pairing")
+        ratios = []
+        for mine, base in zip(self.per_thread_ipc, baseline.per_thread_ipc):
+            if base > 0:
+                ratios.append(mine / base)
+        if not ratios:
+            return 0.0
+        return sum(ratios) / len(ratios)
+
+
+def simulate_smt_pair(trace_a: Trace, trace_b: Trace,
+                      config: Optional[CoreConfig] = None,
+                      name: str = "smt2") -> SmtResult:
+    """Run two traces on one 2-way SMT core."""
+    config = config or CoreConfig()
+    core = OutOfOrderCore(config, [trace_a, trace_b], name=name)
+    result = core.run()
+    per_thread_ipc = [entry["ipc"] for entry in result.per_thread]
+    return SmtResult(result=result, per_thread_ipc=per_thread_ipc)

@@ -1,0 +1,116 @@
+"""Simulation statistics and the result record returned by the core model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class PipelineStats:
+    """Raw event counters accumulated during one simulation."""
+
+    cycles: int = 0
+    instructions_retired: int = 0
+    uops_fetched: int = 0
+    uops_renamed: int = 0
+    loads_renamed: int = 0
+    stores_renamed: int = 0
+    branches_renamed: int = 0
+
+    # Execution events.
+    rs_issues: int = 0
+    alu_ops: int = 0
+    mul_ops: int = 0
+    div_ops: int = 0
+    agu_ops: int = 0
+    loads_executed: int = 0
+    loads_forwarded_from_store: int = 0
+    store_commits: int = 0
+
+    # Front-end events.
+    branches_predicted: int = 0
+    branch_mispredictions: int = 0
+
+    # Recovery events.
+    flushes: int = 0
+    ordering_violation_flushes: int = 0
+    lvp_misprediction_flushes: int = 0
+    mrn_misprediction_flushes: int = 0
+    reexecuted_uops: int = 0
+
+    # Load-port utilisation (Fig. 6).
+    load_utilized_cycles: int = 0
+    load_utilized_cycles_stable_blocking: int = 0
+    load_utilized_cycles_stable_only: int = 0
+
+    # Constable-specific pipeline-level events.
+    eliminated_loads_retired: int = 0
+    oracle_stable_loads_renamed: int = 0
+    eliminated_oracle_stable_loads: int = 0
+    eliminated_non_stable_loads: int = 0
+    golden_checks: int = 0
+    sld_update_cycles_histogram: Dict[int, int] = field(default_factory=dict)
+    rename_stalls_sld_ports: int = 0
+
+    # Value prediction.
+    value_predicted_loads: int = 0
+    value_predictions_correct: int = 0
+
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions_retired / self.cycles
+
+    def record_sld_updates(self, updates: int) -> None:
+        self.sld_update_cycles_histogram[updates] = (
+            self.sld_update_cycles_histogram.get(updates, 0) + 1)
+
+    def average_sld_updates_per_cycle(self) -> float:
+        total_cycles = sum(self.sld_update_cycles_histogram.values())
+        if total_cycles == 0:
+            return 0.0
+        total_updates = sum(updates * count
+                            for updates, count in self.sld_update_cycles_histogram.items())
+        return total_updates / total_cycles
+
+
+@dataclass
+class SimulationResult:
+    """Everything an experiment needs from one simulation run."""
+
+    trace_name: str
+    config_name: str
+    cycles: int
+    instructions: int
+    stats: PipelineStats
+    power_events: Dict[str, int] = field(default_factory=dict)
+    memory_stats: Dict[str, object] = field(default_factory=dict)
+    constable_stats: Optional[Dict[str, float]] = None
+    lvp_stats: Optional[Dict[str, float]] = None
+    resource_stats: Dict[str, int] = field(default_factory=dict)
+    per_thread: List[Dict[str, float]] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Cycles-based speedup of this run over ``baseline`` (same work assumed)."""
+        if self.cycles == 0:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "trace": self.trace_name,
+            "config": self.config_name,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "rs_allocations": self.resource_stats.get("rs_allocations", 0),
+            "l1d_accesses": self.power_events.get("l1d_accesses", 0),
+            "eliminated_loads": (self.constable_stats or {}).get("loads_eliminated", 0),
+        }

@@ -1,0 +1,117 @@
+"""In-flight micro-op record used by the out-of-order core."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.instruction import DynamicInstruction, OpClass
+
+
+class InflightOp:
+    """One micro-op travelling through the out-of-order window."""
+
+    __slots__ = (
+        "dyn", "thread", "trace_index", "rename_cycle",
+        "depends_on", "needs_rs", "port_kind",
+        "complete", "complete_cycle", "value_ready_cycle",
+        "issued", "issue_cycle", "finish_cycle",
+        "squashed", "in_rs",
+        # loads
+        "is_load", "is_store",
+        "eliminated", "likely_stable", "constable_value", "constable_address",
+        "ideal_covered", "ideal_value", "ideal_address",
+        "lvp_prediction", "mrn_store", "mrn_predicted",
+        "rfp_address", "elar_early",
+        "oracle_stable", "reexecuted", "value_obtained_cycle",
+        "executed_at_rename", "optimization",
+        # stores
+        "store_record",
+        "retired",
+    )
+
+    def __init__(self, dyn: DynamicInstruction, thread: int, trace_index: int,
+                 rename_cycle: int):
+        self.dyn = dyn
+        self.thread = thread
+        self.trace_index = trace_index
+        self.rename_cycle = rename_cycle
+        self.depends_on: List["InflightOp"] = []
+        self.needs_rs = True
+        self.port_kind = None
+        self.complete = False
+        self.complete_cycle: Optional[int] = None
+        self.value_ready_cycle: Optional[int] = None
+        self.issued = False
+        self.issue_cycle: Optional[int] = None
+        self.finish_cycle: Optional[int] = None
+        self.squashed = False
+        self.in_rs = False
+        self.is_load = dyn.is_load
+        self.is_store = dyn.is_store
+        self.eliminated = False
+        self.likely_stable = False
+        self.constable_value = 0
+        self.constable_address = 0
+        self.ideal_covered = False
+        self.ideal_value = 0
+        self.ideal_address = 0
+        self.lvp_prediction = None
+        self.mrn_store = None
+        self.mrn_predicted = False
+        self.rfp_address: Optional[int] = None
+        self.elar_early = False
+        self.oracle_stable = False
+        self.reexecuted = False
+        self.value_obtained_cycle: Optional[int] = None
+        self.executed_at_rename = False
+        self.optimization = None
+        self.store_record = None
+        self.retired = False
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def seq(self) -> int:
+        return self.dyn.seq
+
+    @property
+    def pc(self) -> int:
+        return self.dyn.pc
+
+    @property
+    def opclass(self) -> OpClass:
+        return self.dyn.opclass
+
+    @property
+    def dest(self) -> Optional[int]:
+        return self.dyn.static.dest
+
+    def sources_ready(self, cycle: int) -> bool:
+        """True if every producer has made its value available by ``cycle``."""
+        for producer in self.depends_on:
+            ready = producer.value_ready_cycle
+            if ready is None or ready > cycle:
+                return False
+        return True
+
+    def mark_value_ready(self, cycle: int) -> None:
+        """Record the earliest cycle at which dependents may consume the value."""
+        if self.value_ready_cycle is None or cycle < self.value_ready_cycle:
+            self.value_ready_cycle = cycle
+
+    def mark_complete(self, cycle: int) -> None:
+        """Record execution completion (retirement eligibility)."""
+        self.complete = True
+        self.complete_cycle = cycle
+        self.mark_value_ready(cycle)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        flags = []
+        if self.eliminated:
+            flags.append("elim")
+        if self.complete:
+            flags.append("done")
+        if self.squashed:
+            flags.append("squashed")
+        return (f"InflightOp(seq={self.seq}, pc={self.pc:#x}, "
+                f"{self.opclass.value}{', ' + ','.join(flags) if flags else ''})")

@@ -1,0 +1,680 @@
+"""Workload kernels: reusable program fragments with known load-stability behaviour.
+
+Each kernel emits a *setup* section (run once, before the workload's outer
+loop) and a *body* section (run every outer-loop iteration).  Kernels are the
+knobs that let suites reproduce the paper's workload characterisation (Fig. 3):
+
+* ``RuntimeConstantKernel``   - PC-relative global-stable loads of runtime
+  constants (the ``541.leela_r`` ``s_rng`` pattern) plus a dependent
+  pointer-relative load whose source register is rewritten every occurrence
+  (a global-stable load Constable cannot eliminate, Fig. 17).
+* ``InlinedArgsKernel``       - stack-relative global-stable loads of inlined
+  function arguments (the ``557.xz_r`` pattern), short reuse distance.
+* ``TightLoopReadOnlyKernel`` - register-relative global-stable loads off a
+  pinned base register, short reuse distance, mixed with an indexed
+  (non-stable) load from the same table.
+* ``GlobalCounterKernel``     - PC-relative loads with long reuse distance;
+  optionally one global that is periodically stored to (losing stability).
+* ``StreamingKernel``         - monotonically advancing loads/stores
+  (non-stable, high load-port and cache pressure).
+* ``PointerChaseKernel``      - serially dependent loads (non-stable).
+* ``RandomAccessKernel``      - LCG-indexed loads (non-stable, cache misses).
+* ``StoreHeavyKernel``        - store traffic; optionally silent or value-changing
+  stores to designated "victim" globals.
+* ``BranchyKernel``           - data-dependent branches causing mispredictions.
+* ``SharedDataKernel``        - loads from a region also written by another core
+  (generates snoop traffic through the workload generator).
+* ``StackChurnKernel``        - call-like stack writes followed by reloads
+  (non-stable stack loads).
+* ``MatrixKernel``            - FP-SPEC-like nested array traversal with stable
+  bound/argument loads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Type  # noqa: F401 (Optional used by subclasses)
+
+from repro.isa.program import ProgramBuilder
+from repro.isa.registers import RBP, RSP
+
+# Fixed memory-region bases used by the workload generator.
+GLOBALS_BASE = 0x1000_0000
+HEAP_BASE = 0x2000_0000
+READONLY_BASE = 0x3000_0000
+STREAM_BASE = 0x4000_0000
+SHARED_BASE = 0x5000_0000
+STACK_TOP = 0x7FFF_F000
+
+_WORD = 8
+
+
+class KernelContext:
+    """Shared resource allocator handed to every kernel of one workload.
+
+    Pinned registers are written exactly once (in kernel setup code) and then
+    only read, so loads whose address sources are pinned registers can stay
+    eliminable for the whole trace.  Scratch registers are shared freely.
+    """
+
+    def __init__(self, num_registers: int = 16):
+        self.num_registers = num_registers
+        # r15 is the outer-loop counter, rsp/rbp are the stack registers.
+        reserved = {RSP, RBP, 15}
+        pinned_pool = [8, 9, 10, 11, 12, 13, 14] + list(range(16, num_registers))
+        self._pinned_free = [r for r in pinned_pool if r not in reserved]
+        self.scratch = [r for r in range(num_registers)
+                        if r not in reserved and r not in self._pinned_free]
+        self._globals_next = GLOBALS_BASE
+        self._heap_next = HEAP_BASE
+        self._readonly_next = READONLY_BASE
+        self._stream_next = STREAM_BASE
+        self._shared_next = SHARED_BASE
+        self._stack_next_disp = -0x10
+        #: Shared-region addresses that the generator should target with
+        #: external (cross-core) writes.
+        self.shared_addresses: List[int] = []
+        #: Memory contents installed before execution starts (e.g. linked-list
+        #: rings), so that large data structures do not cost setup instructions.
+        self.initial_memory: Dict[int, int] = {}
+
+    # ------------------------------------------------------------ register pool
+
+    def alloc_pinned(self) -> Optional[int]:
+        """Allocate a register that will be written once and never reused."""
+        if self._pinned_free:
+            return self._pinned_free.pop(0)
+        return None
+
+    # ------------------------------------------------------------- memory pools
+
+    def alloc_globals(self, words: int) -> int:
+        """Reserve ``words`` 64-bit words in the global-variable region."""
+        address = self._globals_next
+        self._globals_next += words * _WORD
+        return address
+
+    def alloc_heap(self, words: int) -> int:
+        address = self._heap_next
+        self._heap_next += words * _WORD
+        return address
+
+    def alloc_readonly(self, words: int) -> int:
+        address = self._readonly_next
+        self._readonly_next += words * _WORD
+        return address
+
+    def alloc_stream(self, words: int) -> int:
+        address = self._stream_next
+        self._stream_next += words * _WORD
+        return address
+
+    def alloc_shared(self, words: int) -> int:
+        address = self._shared_next
+        self._shared_next += words * _WORD
+        return address
+
+    def alloc_stack_slot(self) -> int:
+        """Reserve one stack slot; returns its displacement from ``rbp``."""
+        disp = self._stack_next_disp
+        self._stack_next_disp -= _WORD
+        return disp
+
+
+class Kernel:
+    """Base class for workload kernels."""
+
+    name = "kernel"
+
+    def __init__(self, ctx: KernelContext, rng: random.Random, **params):
+        self.ctx = ctx
+        self.rng = rng
+        self.params = params
+
+    def setup(self, b: ProgramBuilder) -> None:
+        """Emit one-time initialisation code (before the workload outer loop)."""
+
+    def body(self, b: ProgramBuilder) -> None:
+        """Emit per-outer-iteration code."""
+        raise NotImplementedError
+
+
+class RuntimeConstantKernel(Kernel):
+    """PC-relative load of a pointer initialised once (a runtime constant)."""
+
+    name = "runtime_constant"
+
+    def setup(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        self.global_ptr_addr = ctx.alloc_globals(1)
+        self.object_addr = ctx.alloc_heap(8)
+        scratch = ctx.scratch[0]
+        # s_rng = new Random;  (initialise the global pointer exactly once)
+        b.movi(scratch, self.object_addr)
+        b.store_global(scratch, self.global_ptr_addr)
+
+    def body(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        ptr, tmp = ctx.scratch[0], ctx.scratch[1]
+        skip = b.label(f"{self.name}_skip_{self.global_ptr_addr:x}")
+        # rax = [s_rng]  -- PC-relative, global-stable.
+        b.load_global(ptr, self.global_ptr_addr)
+        # if (s_rng != 0) skip allocation -- always taken, well predicted.
+        b.jnz(ptr, skip)
+        b.movi(ptr, self.object_addr)
+        b.place(skip)
+        # Dependent load off the freshly written pointer register: global-stable
+        # by value, but its source register is rewritten every occurrence, so
+        # Constable must not eliminate it (feeds the Fig. 17 "source register
+        # written" breakdown).
+        b.load(tmp, base=ptr, disp=0x10)
+        b.alu(tmp, (tmp,), op="add", imm=3)
+
+
+class InlinedArgsKernel(Kernel):
+    """Stack-relative loads of function arguments that never change (xz pattern).
+
+    ``args_in_registers=True`` emulates an APX-style compilation where the
+    arguments live in (pinned) registers and the stack loads disappear.
+    """
+
+    name = "inlined_args"
+
+    def setup(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        self.inner_iterations = int(self.params.get("inner_iterations", 12))
+        self.args_in_registers = bool(self.params.get("args_in_registers", False))
+        self.arg_slots = [ctx.alloc_stack_slot() for _ in range(3)]
+        self.out_base = ctx.alloc_heap(4096)
+        self.out_reg = ctx.alloc_pinned()
+        scratch = ctx.scratch[0]
+        # The third "argument" is the loop-continuation mask: all-ones, so that
+        # ``counter & mask`` keeps the trip count while making the loop branch
+        # depend on the stable argument load.
+        arg_values = [self.rng.randrange(1, 1 << 20) for _ in range(2)] + [(1 << 32) - 1]
+        if self.args_in_registers:
+            self.arg_regs = []
+            for value in arg_values:
+                reg = ctx.alloc_pinned()
+                if reg is None:
+                    # Out of pinned registers: fall back to the stack.
+                    self.args_in_registers = False
+                    break
+                b.movi(reg, value)
+                self.arg_regs.append(reg)
+        if not self.args_in_registers:
+            for disp, value in zip(self.arg_slots, arg_values):
+                b.movi(scratch, value)
+                b.store(scratch, base=RBP, disp=disp)
+        if self.out_reg is not None:
+            b.movi(self.out_reg, self.out_base)
+
+    def body(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        counter, a0, a1, acc = ctx.scratch[0], ctx.scratch[1], ctx.scratch[2], ctx.scratch[3]
+        idx = ctx.scratch[4]
+        top = b.label(f"{self.name}_top_{self.arg_slots[0] & 0xffff:x}")
+        b.movi(counter, self.inner_iterations)
+        b.movi(idx, 0)
+        b.place(top)
+        if self.args_in_registers:
+            b.movr(a0, self.arg_regs[0])
+            b.movr(a1, self.arg_regs[1])
+        else:
+            # rc->cache / out_pos style argument reloads: stack-relative, stable.
+            b.load(a0, base=RBP, disp=self.arg_slots[0])
+            b.load(a1, base=RBP, disp=self.arg_slots[1])
+        b.alu(acc, (a0, a1), op="add")
+        if self.out_reg is not None:
+            b.store(acc, base=self.out_reg, index=idx, scale=8, disp=0)
+        b.addi(idx, idx, 1)
+        b.alu(idx, (idx,), op="and", imm=0x1FF)
+        b.addi(counter, counter, -1)
+        # Loop-exit test through a reloaded argument, like xz's
+        # ``cmp QWORD PTR [rsp+0x8],rdi; jne``: the branch resolution waits on a
+        # stable stack load.
+        if self.args_in_registers:
+            b.alu(a0, (counter, self.arg_regs[2]), op="and")
+        else:
+            b.load(a0, base=RBP, disp=self.arg_slots[2])
+            b.alu(a0, (counter, a0), op="and")
+        b.jnz(a0, top)
+
+
+class TightLoopReadOnlyKernel(Kernel):
+    """Register-relative loads off a pinned base into a read-only table."""
+
+    name = "tight_loop_readonly"
+
+    def setup(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        self.inner_iterations = int(self.params.get("inner_iterations", 16))
+        self.table_words = int(self.params.get("table_words", 64))
+        self.fixed_loads = int(self.params.get("fixed_loads", 2))
+        self.table_base = ctx.alloc_readonly(self.table_words)
+        self.base_reg = ctx.alloc_pinned()
+        if self.base_reg is None:
+            self.base_reg = ctx.scratch[-1]
+        b.movi(self.base_reg, self.table_base)
+
+    def body(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        counter, idx, v0, v1 = ctx.scratch[0], ctx.scratch[4], ctx.scratch[1], ctx.scratch[2]
+        top = b.label(f"{self.name}_top_{self.table_base & 0xffff:x}")
+        b.movi(counter, self.inner_iterations)
+        b.place(top)
+        # Fixed-offset loads off a pinned register: register-relative, stable,
+        # short inter-occurrence distance.
+        for slot in range(self.fixed_loads):
+            b.load(v0, base=self.base_reg, disp=slot * 8)
+        # Indexed load from the same table: same PC, changing address (not stable).
+        b.alu(idx, (counter,), op="and", imm=(self.table_words - 1))
+        b.load(v1, base=self.base_reg, index=idx, scale=8, disp=0)
+        b.alu(v0, (v0, v1), op="xor")
+        b.addi(counter, counter, -1)
+        b.jnz(counter, top)
+
+
+class GlobalCounterKernel(Kernel):
+    """PC-relative loads of global variables with long reuse distance."""
+
+    name = "global_counters"
+
+    def setup(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        self.num_globals = int(self.params.get("num_globals", 4))
+        self.store_period = int(self.params.get("store_period", 0))
+        self.globals = [ctx.alloc_globals(1) for _ in range(self.num_globals)]
+        self.mutable_global = ctx.alloc_globals(1)
+        scratch = ctx.scratch[0]
+        for address in self.globals + [self.mutable_global]:
+            b.movi(scratch, self.rng.randrange(1, 1 << 30))
+            b.store_global(scratch, address)
+        if self.store_period:
+            self.phase_reg = ctx.alloc_pinned()
+            if self.phase_reg is not None:
+                b.movi(self.phase_reg, self.store_period)
+
+    def body(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        acc, tmp = ctx.scratch[1], ctx.scratch[2]
+        b.movi(acc, 0)
+        for address in self.globals:
+            # Read-only global configuration values: PC-relative, stable,
+            # long inter-occurrence distance (once per outer iteration).
+            b.load(tmp, base=None, disp=address)
+            b.alu(acc, (acc, tmp), op="add")
+        if self.store_period:
+            # A global that is periodically rewritten: its loads lose stability.
+            b.load(tmp, base=None, disp=self.mutable_global)
+            b.addi(tmp, tmp, 1)
+            b.store_global(tmp, self.mutable_global)
+        else:
+            b.load(tmp, base=None, disp=self.mutable_global)
+            b.alu(acc, (acc, tmp), op="add")
+
+
+class StreamingKernel(Kernel):
+    """Monotonically advancing loads and stores (non-stable, port pressure)."""
+
+    name = "streaming"
+
+    def setup(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        self.inner_iterations = int(self.params.get("inner_iterations", 16))
+        self.region_words = int(self.params.get("region_words", 1 << 16))
+        self.in_base = ctx.alloc_stream(self.region_words)
+        self.out_base = ctx.alloc_stream(self.region_words)
+        self.cursor_reg = ctx.alloc_pinned()
+        if self.cursor_reg is None:
+            self.cursor_reg = ctx.scratch[-1]
+        b.movi(self.cursor_reg, 0)
+
+    def body(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        counter, v0, v1, cur = ctx.scratch[0], ctx.scratch[1], ctx.scratch[2], ctx.scratch[3]
+        top = b.label(f"{self.name}_top_{self.in_base & 0xffff:x}")
+        b.movi(counter, self.inner_iterations)
+        b.place(top)
+        b.movr(cur, self.cursor_reg)
+        b.alu(cur, (cur,), op="and", imm=(self.region_words - 1))
+        b.load(v0, base=cur, scale=1, disp=self.in_base)
+        b.load(v1, base=cur, scale=1, disp=self.in_base + 8)
+        b.alu(v0, (v0, v1), op="add")
+        b.store(v0, base=cur, scale=1, disp=self.out_base)
+        b.addi(self.cursor_reg, self.cursor_reg, 64)
+        b.addi(counter, counter, -1)
+        b.jnz(counter, top)
+
+
+class PointerChaseKernel(Kernel):
+    """Serially dependent loads walking a linked ring (non-stable)."""
+
+    name = "pointer_chase"
+
+    def setup(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        self.ring_nodes = int(self.params.get("ring_nodes", 256))
+        self.inner_iterations = int(self.params.get("inner_iterations", 8))
+        self.ring_base = ctx.alloc_heap(self.ring_nodes * 2)
+        self.head_global = ctx.alloc_globals(1)
+        # The ring lives in the initial memory image (building it with stores
+        # would dominate short traces).  node[i].next = node[order[i+1]].
+        order = list(range(self.ring_nodes))
+        self.rng.shuffle(order)
+        for position, node in enumerate(order):
+            next_node = order[(position + 1) % self.ring_nodes]
+            ctx.initial_memory[self.ring_base + node * 16] = self.ring_base + next_node * 16
+        # The data-structure base behaves like a runtime constant held in a
+        # global (paper Fig. 5a): a PC-relative global-stable load gates every walk.
+        ctx.initial_memory[self.head_global] = self.ring_base
+        self.offset_reg = ctx.alloc_pinned()
+        if self.offset_reg is None:
+            self.offset_reg = ctx.scratch[-1]
+        b.movi(self.offset_reg, 0)
+
+    def body(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        counter, cursor, base = ctx.scratch[0], ctx.scratch[5], ctx.scratch[1]
+        top = b.label(f"{self.name}_top_{self.ring_base & 0xffff:x}")
+        # base = *structure_ptr  -- global-stable, and the whole walk depends on it.
+        b.load(base, base=None, disp=self.head_global)
+        # Start each outer iteration at a fresh node so large rings really miss.
+        b.alu(self.offset_reg, (self.offset_reg,), op="add", imm=7 * 16)
+        b.alu(self.offset_reg, (self.offset_reg,), op="and",
+              imm=(self.ring_nodes * 16 - 1) & ~0xF)
+        b.alu(cursor, (base, self.offset_reg), op="add")
+        b.movi(counter, self.inner_iterations)
+        b.place(top)
+        # cursor = [cursor]: the source register changes every occurrence.
+        b.load(cursor, base=cursor, disp=0)
+        b.addi(counter, counter, -1)
+        b.jnz(counter, top)
+
+
+class RandomAccessKernel(Kernel):
+    """LCG-indexed loads over a large region (non-stable, cache-miss heavy)."""
+
+    name = "random_access"
+
+    def setup(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        self.inner_iterations = int(self.params.get("inner_iterations", 8))
+        #: Footprint of the randomly accessed region, in bytes.
+        self.region_bytes = int(self.params.get("region_words", 1 << 14)) * 8
+        self.region_base = ctx.alloc_heap(self.region_bytes // 8)
+        # The table base pointer is a runtime constant held in a global: the
+        # address of every (cache-missing) random access depends on a
+        # PC-relative global-stable load, like ``arr = *table_ptr; arr[i]``.
+        self.table_ptr_global = ctx.alloc_globals(1)
+        ctx.initial_memory[self.table_ptr_global] = self.region_base
+        self.seed_reg = ctx.alloc_pinned()
+        if self.seed_reg is None:
+            self.seed_reg = ctx.scratch[-1]
+        b.movi(self.seed_reg, self.rng.randrange(1, 1 << 40))
+
+    def body(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        counter, table, idx, val = (ctx.scratch[0], ctx.scratch[1],
+                                    ctx.scratch[2], ctx.scratch[3])
+        top = b.label(f"{self.name}_top_{self.region_base & 0xffff:x}")
+        b.movi(counter, self.inner_iterations)
+        b.place(top)
+        # table = *table_ptr  -- global-stable load gating the random access.
+        b.load(table, base=None, disp=self.table_ptr_global)
+        # The LCG state lives in a persistent register, so addresses keep
+        # changing across outer iterations and the footprint is really touched.
+        b.alu(self.seed_reg, (self.seed_reg,), op="lcg")
+        b.alu(idx, (self.seed_reg,), op="shr", imm=13)
+        b.alu(idx, (idx,), op="and", imm=(self.region_bytes - 1) & ~0x7)
+        b.load(val, base=table, index=idx, scale=1, disp=0)
+        b.alu(val, (val,), op="add", imm=1)
+        b.addi(counter, counter, -1)
+        b.jnz(counter, top)
+
+
+class StoreHeavyKernel(Kernel):
+    """Store traffic; optionally silent or value-changing stores to victim globals."""
+
+    name = "store_heavy"
+
+    def setup(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        self.inner_iterations = int(self.params.get("inner_iterations", 8))
+        self.silent_stores = bool(self.params.get("silent_stores", False))
+        self.victim_global = ctx.alloc_globals(1)
+        self.buffer_base = ctx.alloc_heap(1024)
+        self.victim_value = self.rng.randrange(1, 1 << 20)
+        scratch = ctx.scratch[0]
+        b.movi(scratch, self.victim_value)
+        b.store_global(scratch, self.victim_global)
+
+    def body(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        counter, val, idx, vict = (ctx.scratch[0], ctx.scratch[1],
+                                   ctx.scratch[2], ctx.scratch[3])
+        top = b.label(f"{self.name}_top_{self.victim_global & 0xffff:x}")
+        b.movi(counter, self.inner_iterations)
+        b.movi(idx, 0)
+        b.place(top)
+        b.alu(val, (counter, idx), op="add", imm=7)
+        b.store(val, base=idx, scale=8, disp=self.buffer_base)
+        b.addi(idx, idx, 1)
+        b.alu(idx, (idx,), op="and", imm=0x7F)
+        b.addi(counter, counter, -1)
+        b.jnz(counter, top)
+        # One load of the victim global per outer iteration, plus a store that
+        # either rewrites the same value (silent store) or a changing value.
+        b.load(vict, base=None, disp=self.victim_global)
+        if self.silent_stores:
+            b.store(vict, base=None, disp=self.victim_global)
+        else:
+            b.addi(vict, vict, 1)
+            b.store(vict, base=None, disp=self.victim_global)
+
+
+class BranchyKernel(Kernel):
+    """Data-dependent branches that mispredict, plus a couple of stable stack loads."""
+
+    name = "branchy"
+
+    def setup(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        self.inner_iterations = int(self.params.get("inner_iterations", 12))
+        self.arg_slot = ctx.alloc_stack_slot()
+        self.seed_reg = ctx.alloc_pinned()
+        if self.seed_reg is None:
+            self.seed_reg = ctx.scratch[-1]
+        scratch = ctx.scratch[0]
+        b.movi(scratch, self.rng.randrange(1, 1 << 16))
+        b.store(scratch, base=RBP, disp=self.arg_slot)
+        b.movi(self.seed_reg, self.rng.randrange(1, 1 << 40))
+
+    def body(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        counter, seed, bit, arg, acc = (ctx.scratch[0], ctx.scratch[1], ctx.scratch[2],
+                                        ctx.scratch[3], ctx.scratch[4])
+        top = b.label(f"{self.name}_top_{self.arg_slot & 0xffff:x}")
+        skip = b.label(f"{self.name}_skip_{self.arg_slot & 0xffff:x}")
+        del seed  # the LCG state lives in the persistent seed register
+        b.movi(counter, self.inner_iterations)
+        b.place(top)
+        b.load(arg, base=RBP, disp=self.arg_slot)
+        b.alu(self.seed_reg, (self.seed_reg,), op="lcg")
+        b.alu(bit, (self.seed_reg, arg), op="xor")
+        b.alu(bit, (bit,), op="shr", imm=37)
+        b.alu(bit, (bit,), op="and", imm=1)
+        # The data-dependent branch resolves only after the (stable) argument
+        # load completes, so eliminating the load shortens misprediction recovery.
+        b.jz(bit, skip)
+        b.alu(acc, (arg,), op="add", imm=5)
+        b.place(skip)
+        b.alu(acc, (arg, bit), op="xor")
+        b.addi(counter, counter, -1)
+        b.jnz(counter, top)
+
+
+class SharedDataKernel(Kernel):
+    """Loads from a region that another core writes to (generates snoop traffic)."""
+
+    name = "shared_data"
+
+    def setup(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        self.num_shared = int(self.params.get("num_shared", 4))
+        self.addresses = [ctx.alloc_shared(1) for _ in range(self.num_shared)]
+        ctx.shared_addresses.extend(self.addresses)
+        scratch = ctx.scratch[0]
+        for address in self.addresses:
+            b.movi(scratch, self.rng.randrange(1, 1 << 20))
+            b.store_global(scratch, address)
+
+    def body(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        acc, tmp = ctx.scratch[1], ctx.scratch[2]
+        b.movi(acc, 0)
+        for address in self.addresses:
+            b.load(tmp, base=None, disp=address)
+            b.alu(acc, (acc, tmp), op="add")
+
+
+class StackChurnKernel(Kernel):
+    """Call-like stack writes followed by reloads: non-stable stack loads."""
+
+    name = "stack_churn"
+
+    def setup(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        self.inner_iterations = int(self.params.get("inner_iterations", 6))
+        self.slots = [ctx.alloc_stack_slot() for _ in range(2)]
+
+    def body(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        counter, a, c0, c1 = ctx.scratch[0], ctx.scratch[1], ctx.scratch[2], ctx.scratch[3]
+        top = b.label(f"{self.name}_top_{self.slots[0] & 0xffff:x}")
+        b.movi(counter, self.inner_iterations)
+        b.place(top)
+        # "Call" with fresh argument values every iteration.
+        b.alu(a, (counter,), op="add", imm=11)
+        b.store(a, base=RSP, disp=self.slots[0])
+        b.alu(a, (counter,), op="xor", imm=3)
+        b.store(a, base=RSP, disp=self.slots[1])
+        # "Callee" reloads them: stack-relative but not stable.
+        b.load(c0, base=RSP, disp=self.slots[0])
+        b.load(c1, base=RSP, disp=self.slots[1])
+        b.alu(c0, (c0, c1), op="add")
+        b.addi(counter, counter, -1)
+        b.jnz(counter, top)
+
+
+class ChainedDerefKernel(Kernel):
+    """Serial dereference chains through runtime-constant pointers.
+
+    Object-oriented and interpreter-style code dereferences chains like
+    ``this->config->table->entry`` where every pointer is initialised once and
+    never changes.  All levels are global-stable; only the first level (whose
+    address sources never change: a PC-relative load) is eliminable by
+    Constable, while a value predictor can speculate the whole chain - the
+    pattern behind the paper's Client/Enterprise results and the
+    EVES-vs-Constable per-workload differences (Fig. 12).
+    """
+
+    name = "chained_deref"
+
+    def setup(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        self.inner_iterations = int(self.params.get("inner_iterations", 10))
+        self.depth = max(2, int(self.params.get("depth", 3)))
+        self.root_global = ctx.alloc_globals(1)
+        # Build the object graph in the initial memory image:
+        # root -> node0 -> node1 -> ... each node holds the next pointer at +8
+        # and a payload at +16.
+        nodes = [ctx.alloc_heap(4) for _ in range(self.depth)]
+        ctx.initial_memory[self.root_global] = nodes[0]
+        for level, node in enumerate(nodes):
+            if level + 1 < self.depth:
+                ctx.initial_memory[node + 8] = nodes[level + 1]
+            ctx.initial_memory[node + 16] = self.rng.randrange(1, 1 << 30)
+        self.bound_slot = ctx.alloc_stack_slot()
+        scratch = ctx.scratch[0]
+        b.movi(scratch, (1 << 32) - 1)
+        b.store(scratch, base=RBP, disp=self.bound_slot)
+
+    def body(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        counter, ptr, val, mask = (ctx.scratch[0], ctx.scratch[1],
+                                   ctx.scratch[2], ctx.scratch[3])
+        top = b.label(f"{self.name}_top_{self.root_global & 0xffff:x}")
+        b.movi(counter, self.inner_iterations)
+        b.place(top)
+        # ptr = *root (PC-relative, global-stable, eliminable).
+        b.load(ptr, base=None, disp=self.root_global)
+        # Walk the chain: every level is global-stable but its source register
+        # was just written, so Constable must leave it to the value predictor.
+        for _ in range(self.depth - 1):
+            b.load(ptr, base=ptr, disp=8)
+        b.load(val, base=ptr, disp=16)
+        b.alu(val, (val, counter), op="add")
+        # Loop test through a stable stack load (the xz pattern).
+        b.load(mask, base=RBP, disp=self.bound_slot)
+        b.addi(counter, counter, -1)
+        b.alu(mask, (counter, mask), op="and")
+        b.jnz(mask, top)
+
+
+class MatrixKernel(Kernel):
+    """FP-SPEC-like strided array traversal with stable bound/argument loads."""
+
+    name = "matrix"
+
+    def setup(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        self.inner_iterations = int(self.params.get("inner_iterations", 16))
+        self.rows = int(self.params.get("rows", 64))
+        self.matrix_base = ctx.alloc_heap(self.rows * 8)
+        self.bound_slot = ctx.alloc_stack_slot()
+        self.base_reg = ctx.alloc_pinned()
+        if self.base_reg is None:
+            self.base_reg = ctx.scratch[-1]
+        scratch = ctx.scratch[0]
+        b.movi(scratch, self.rows)
+        b.store(scratch, base=RBP, disp=self.bound_slot)
+        b.movi(self.base_reg, self.matrix_base)
+
+    def body(self, b: ProgramBuilder) -> None:
+        ctx = self.ctx
+        counter, bound, idx, v0, acc = (ctx.scratch[0], ctx.scratch[1], ctx.scratch[2],
+                                        ctx.scratch[3], ctx.scratch[4])
+        top = b.label(f"{self.name}_top_{self.matrix_base & 0xffff:x}")
+        # Loop bound reloaded from the stack every outer iteration: stable.
+        b.load(bound, base=RBP, disp=self.bound_slot)
+        b.movi(counter, self.inner_iterations)
+        b.movi(idx, 0)
+        b.movi(acc, 0)
+        b.place(top)
+        b.load(v0, base=self.base_reg, index=idx, scale=8, disp=0)
+        b.mul(v0, (v0, bound))
+        b.alu(acc, (acc, v0), op="add")
+        b.addi(idx, idx, 1)
+        b.alu(idx, (idx,), op="and", imm=(self.rows - 1))
+        b.addi(counter, counter, -1)
+        b.jnz(counter, top)
+
+
+#: Registry of kernel classes, keyed by their ``name`` attribute.
+KERNEL_REGISTRY: Dict[str, Type[Kernel]] = {
+    cls.name: cls
+    for cls in (
+        RuntimeConstantKernel, InlinedArgsKernel, TightLoopReadOnlyKernel,
+        GlobalCounterKernel, StreamingKernel, PointerChaseKernel,
+        RandomAccessKernel, StoreHeavyKernel, BranchyKernel,
+        SharedDataKernel, StackChurnKernel, ChainedDerefKernel, MatrixKernel,
+    )
+}
+
+
+def create_kernel(name: str, ctx: KernelContext, rng: random.Random, **params) -> Kernel:
+    """Instantiate a kernel by registry name."""
+    if name not in KERNEL_REGISTRY:
+        raise KeyError(f"unknown kernel {name!r}; known: {sorted(KERNEL_REGISTRY)}")
+    return KERNEL_REGISTRY[name](ctx, rng, **params)

@@ -1,0 +1,100 @@
+"""Trace container: the dynamic instruction stream plus cross-core snoop events."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.isa.instruction import DynamicInstruction, SnoopEvent
+from repro.isa.program import Program
+
+
+class Trace:
+    """A workload trace: dynamic instructions, snoop events and metadata.
+
+    The trace is the interface between the functional world (the VM that
+    produced it) and the timing world (the out-of-order core model).  Every
+    dynamic instruction carries the functionally correct effective address and
+    load value, which the golden check uses at retirement (paper §8.5).
+    """
+
+    def __init__(self, name: str, category: str,
+                 instructions: List[DynamicInstruction],
+                 snoops: Optional[List[SnoopEvent]] = None,
+                 program: Optional[Program] = None,
+                 num_registers: int = 16,
+                 metadata: Optional[Dict[str, object]] = None):
+        if not instructions:
+            raise ValueError("a trace must contain at least one instruction")
+        self.name = name
+        self.category = category
+        self.instructions = instructions
+        self.snoops = sorted(snoops or [], key=lambda s: s.after_seq)
+        self.program = program
+        self.num_registers = num_registers
+        self.metadata = dict(metadata or {})
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterable[DynamicInstruction]:
+        return iter(self.instructions)
+
+    # ------------------------------------------------------------------ queries
+
+    def loads(self) -> List[DynamicInstruction]:
+        """All dynamic load instructions."""
+        return [d for d in self.instructions if d.is_load]
+
+    def stores(self) -> List[DynamicInstruction]:
+        """All dynamic store instructions."""
+        return [d for d in self.instructions if d.is_store]
+
+    def branches(self) -> List[DynamicInstruction]:
+        """All dynamic branch/jump instructions."""
+        return [d for d in self.instructions if d.is_branch]
+
+    def load_fraction(self) -> float:
+        """Fraction of dynamic instructions that are loads."""
+        return len(self.loads()) / len(self.instructions)
+
+    def static_load_pcs(self) -> List[int]:
+        """Distinct PCs of load instructions, in first-occurrence order."""
+        seen = {}
+        for d in self.instructions:
+            if d.is_load and d.pc not in seen:
+                seen[d.pc] = True
+        return list(seen.keys())
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """Return a sub-trace over instruction indices ``[start, stop)``."""
+        sub = self.instructions[start:stop]
+        if not sub:
+            raise ValueError("empty trace slice")
+        lo, hi = sub[0].seq, sub[-1].seq
+        snoops = [s for s in self.snoops if lo <= s.after_seq <= hi]
+        return Trace(
+            name=f"{self.name}[{start}:{stop}]", category=self.category,
+            instructions=sub, snoops=snoops, program=self.program,
+            num_registers=self.num_registers, metadata=dict(self.metadata),
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """A small dictionary of headline trace statistics."""
+        n_loads = len(self.loads())
+        n_stores = len(self.stores())
+        n_branches = len(self.branches())
+        return {
+            "name": self.name,
+            "category": self.category,
+            "instructions": len(self.instructions),
+            "loads": n_loads,
+            "stores": n_stores,
+            "branches": n_branches,
+            "load_fraction": n_loads / len(self.instructions),
+            "snoops": len(self.snoops),
+            "static_loads": len(self.static_load_pcs()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"Trace(name={self.name!r}, category={self.category!r}, "
+                f"instructions={len(self.instructions)})")

@@ -1,0 +1,75 @@
+"""Shared fixtures: small traces and configurations sized for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConstableConfig
+from repro.pipeline import CoreConfig, simulate_trace
+from repro.workloads import generate_trace, workload_specs_for_suite
+from repro.workloads.suites import WorkloadSpec
+
+#: Trace length used by integration tests: long enough for Constable to train,
+#: short enough to keep the whole suite fast.
+TEST_TRACE_INSTRUCTIONS = 3000
+
+
+@pytest.fixture(scope="session")
+def client_trace():
+    """A Client-suite trace (rich in stable loads)."""
+    spec = workload_specs_for_suite("Client")[0]
+    return generate_trace(spec, num_instructions=TEST_TRACE_INSTRUCTIONS)
+
+
+@pytest.fixture(scope="session")
+def server_trace():
+    """A Server-suite trace (includes snoop traffic)."""
+    spec = workload_specs_for_suite("Server")[0]
+    return generate_trace(spec, num_instructions=TEST_TRACE_INSTRUCTIONS)
+
+
+@pytest.fixture(scope="session")
+def ispec_trace():
+    """An ISPEC-like trace (branchy, pointer chasing)."""
+    spec = workload_specs_for_suite("ISPEC17")[0]
+    return generate_trace(spec, num_instructions=TEST_TRACE_INSTRUCTIONS)
+
+
+@pytest.fixture(scope="session")
+def tiny_spec():
+    """A purpose-built workload spec exercising stable and unstable loads."""
+    return WorkloadSpec(
+        name="tiny_mixed",
+        suite="Client",
+        kernels=[
+            ("runtime_constant", {}),
+            ("inlined_args", {"inner_iterations": 6}),
+            ("tight_loop_readonly", {"inner_iterations": 6}),
+            ("store_heavy", {"inner_iterations": 4}),
+        ],
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_trace(tiny_spec):
+    return generate_trace(tiny_spec, num_instructions=2000)
+
+
+@pytest.fixture(scope="session")
+def constable_test_config():
+    """Constable configuration with a trace-length-appropriate confidence threshold."""
+    return ConstableConfig(confidence_threshold=6)
+
+
+@pytest.fixture(scope="session")
+def baseline_result(client_trace):
+    """Baseline simulation of the Client trace (shared across tests)."""
+    return simulate_trace(client_trace, CoreConfig(), name="baseline")
+
+
+@pytest.fixture(scope="session")
+def constable_result(client_trace, constable_test_config):
+    """Constable simulation of the Client trace (shared across tests)."""
+    return simulate_trace(client_trace, CoreConfig(constable=constable_test_config),
+                          name="constable")

@@ -1,0 +1,172 @@
+"""Tests for the experiment runner, named configs, reporting and figure harnesses."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    baseline_config,
+    constable_config,
+    constable_engine_config,
+    eves_config,
+    eves_constable_config,
+    figures,
+    format_table,
+    named_configs,
+)
+from repro.experiments.reporting import format_mapping, format_percent, format_speedup, per_suite_table
+
+
+@pytest.fixture(scope="module")
+def small_runner():
+    """One workload per suite, short traces: shared by all harness tests."""
+    return ExperimentRunner(per_suite=1, instructions=2500)
+
+
+# --------------------------------------------------------------------- configs
+
+def test_named_configs_build_valid_core_configs():
+    for name, factory in named_configs().items():
+        config = factory()
+        assert config.rename_width == 6, name
+
+
+def test_constable_engine_config_uses_experiment_threshold():
+    config = constable_engine_config()
+    assert config.confidence_threshold < 30
+    assert constable_engine_config(confidence_threshold=30).confidence_threshold == 30
+
+
+def test_config_factories_attach_expected_mechanisms():
+    assert baseline_config().constable is None and baseline_config().lvp is None
+    assert constable_config().constable is not None
+    assert eves_config().lvp == "eves"
+    combined = eves_constable_config()
+    assert combined.lvp == "eves" and combined.constable is not None
+
+
+# ------------------------------------------------------------------- reporting
+
+def test_format_helpers():
+    assert format_percent(0.051) == "5.1%"
+    assert format_speedup(1.0512) == "1.051x"
+    table = format_table(["a", "b"], [("x", 1), ("yy", 22)], title="t")
+    assert "t" in table and "yy" in table
+    mapping = format_mapping({"k": "v"})
+    assert "k" in mapping
+    suites = per_suite_table({"Client": {"constable": 1.05}},
+                             title="fig")
+    assert "Client" in suites and "constable" in suites
+
+
+# ---------------------------------------------------------------------- runner
+
+def test_runner_workload_generation(small_runner):
+    workloads = small_runner.workloads()
+    assert len(workloads) == 5
+    for run in workloads.values():
+        assert len(run.trace) == 2500
+        assert run.report.total_dynamic_loads() > 0
+
+
+def test_runner_caches_results(small_runner):
+    first = small_runner.run_config("baseline", baseline_config())
+    second = small_runner.run_config("baseline", baseline_config())
+    for name in first:
+        assert first[name] is second[name]
+
+
+def test_runner_speedups_and_geomean(small_runner):
+    small_runner.run_config("baseline", baseline_config())
+    small_runner.run_config("constable", constable_config())
+    speedups = small_runner.speedups("constable")
+    assert len(speedups) == 5
+    assert all(0.8 < value < 1.5 for value in speedups.values())
+    by_suite = small_runner.speedups_by_suite("constable")
+    assert "GEOMEAN" in by_suite
+    assert 0.9 < by_suite["GEOMEAN"] < 1.3
+
+
+def test_runner_metric_ratio(small_runner):
+    small_runner.run_config("baseline", baseline_config())
+    small_runner.run_config("constable", constable_config())
+    ratios = small_runner.metric_ratio("constable",
+                                       lambda r: r.power_events["l1d_accesses"])
+    assert all(value <= 1.01 for value in ratios.values())
+
+
+def test_runner_smt_pairs(small_runner):
+    pairs = small_runner.smt_pairs(max_pairs=2)
+    assert len(pairs) == 2
+    assert all(a != b for a, b in pairs)
+
+
+def test_runner_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ExperimentRunner(instructions=0)
+
+
+# --------------------------------------------------------------------- figures
+
+def test_fig3_characterisation(small_runner):
+    result = figures.fig3_global_stable_characterisation(small_runner)
+    assert 0.0 < result["global_stable_fraction_avg"] < 1.0
+    assert set(result["global_stable_fraction_by_suite"]) == set(small_runner.suites)
+    assert "text" in result
+
+
+def test_fig6_load_port_utilisation(small_runner):
+    result = figures.fig6_load_port_utilisation(small_runner)
+    assert 0.0 < result["load_utilised_cycle_fraction"] < 1.0
+    assert 0.0 <= result["stable_blocking_fraction_of_utilised"] <= 1.0
+
+
+def test_fig7_headroom_contains_all_configs(small_runner):
+    result = figures.fig7_headroom(small_runner)
+    assert set(result["geomean"]) == {"ideal_stable_lvp", "ideal_stable_lvp_fetch_elim",
+                                      "2x_load_width", "ideal_constable"}
+    assert all(value > 0.9 for value in result["geomean"].values())
+
+
+def test_fig11_and_fig12(small_runner):
+    fig11 = figures.fig11_speedup_nosmt(small_runner)
+    assert set(fig11["geomean"]) == {"eves", "constable", "eves+constable",
+                                     "eves+ideal_constable"}
+    fig12 = figures.fig12_per_workload(small_runner)
+    assert fig12["total_workloads"] == 5
+    assert 0 <= fig12["constable_wins"] <= 5
+
+
+def test_fig13_categories(small_runner):
+    result = figures.fig13_load_categories(small_runner)
+    assert set(result["geomean_speedups"]) == {"pc_relative_only", "stack_relative_only",
+                                               "register_relative_only", "all_loads"}
+
+
+def test_fig16_and_fig17_coverage(small_runner):
+    fig16 = figures.fig16_coverage(small_runner)
+    assert 0.0 < fig16["coverage"]["constable"] < 1.0
+    assert fig16["coverage"]["eves+constable"] >= fig16["coverage"]["constable"] * 0.9
+    fig17 = figures.fig17_stable_breakdown(small_runner)
+    assert 0.0 <= fig17["breakdown"]["global_stable_and_eliminated"] <= 1.0
+
+
+def test_fig18_and_fig19(small_runner):
+    fig18 = figures.fig18_resource_utilisation(small_runner)
+    assert fig18["l1d_access_reduction"]["mean"] > 0.0
+    fig19 = figures.fig19_power(small_runner)
+    assert fig19["relative_core_power"]["baseline"] == pytest.approx(1.0)
+    assert fig19["relative_l1d_power"]["constable"] < 1.0
+
+
+def test_fig21_and_fig22(small_runner):
+    fig21 = figures.fig21_ordering_violations(small_runner)
+    assert fig21["violation_fraction"]["mean"] < 0.05
+    fig22 = figures.fig22_amt_invalidation(small_runner)
+    assert set(fig22["speedup"]) == {"constable", "constable_amt_i"}
+
+
+def test_tables():
+    table1 = figures.table1_storage_overhead()
+    assert table1["storage_kb"]["total"] == pytest.approx(12.4, abs=0.3)
+    table3 = figures.table3_energy_estimates()
+    assert set(table3["estimates"]) == {"sld", "rmt", "amt"}

@@ -1,0 +1,76 @@
+"""Unit tests for the program builder and static program container."""
+
+import pytest
+
+from repro.isa.instruction import OpClass
+from repro.isa.program import INSTRUCTION_SIZE, Program, ProgramBuilder
+
+
+def _simple_loop_program():
+    builder = ProgramBuilder(base_pc=0x1000)
+    builder.movi(0, 5)
+    top = builder.here("top")
+    builder.addi(0, 0, -1)
+    builder.jnz(0, top)
+    return builder.build()
+
+
+def test_builder_lays_out_consecutive_pcs():
+    program = _simple_loop_program()
+    pcs = [inst.pc for inst in program.instructions()]
+    assert pcs == [0x1000, 0x1004, 0x1008]
+
+
+def test_builder_resolves_labels_to_pcs():
+    program = _simple_loop_program()
+    branch = program.instructions()[-1]
+    assert branch.opclass is OpClass.BRANCH
+    assert branch.branch_target == 0x1004
+
+
+def test_builder_rejects_unplaced_labels():
+    builder = ProgramBuilder()
+    dangling = builder.label("never_placed")
+    builder.jmp(dangling)
+    with pytest.raises(ValueError):
+        builder.build()
+
+
+def test_program_fetch_and_contains():
+    program = _simple_loop_program()
+    assert 0x1000 in program
+    assert 0x2000 not in program
+    assert program.fetch(0x1008).opclass is OpClass.BRANCH
+    assert program.next_pc(0x1000) == 0x1000 + INSTRUCTION_SIZE
+
+
+def test_program_rejects_empty_instruction_list():
+    with pytest.raises(ValueError):
+        Program([], entry_pc=0)
+
+
+def test_program_loads_and_stores_listing():
+    builder = ProgramBuilder()
+    builder.load(1, base=None, disp=0x100)
+    builder.store(1, base=None, disp=0x108)
+    builder.nop()
+    program = builder.build()
+    assert len(program.loads()) == 1
+    assert len(program.stores()) == 1
+
+
+def test_builder_memory_helpers_set_operands():
+    builder = ProgramBuilder()
+    load = builder.load(2, base=3, index=4, scale=8, disp=0x20)
+    store = builder.store_global(2, 0x9000)
+    assert load.mem.base == 3 and load.mem.index == 4 and load.mem.scale == 8
+    assert store.mem.base is None and store.mem.disp == 0x9000
+
+
+def test_builder_entry_label():
+    builder = ProgramBuilder(base_pc=0x4000)
+    builder.nop()
+    entry = builder.here("entry")
+    builder.nop()
+    program = builder.build(entry=entry)
+    assert program.entry_pc == 0x4004

@@ -1,0 +1,120 @@
+"""Integration tests for the out-of-order core: baseline behaviour and invariants."""
+
+import pytest
+
+from repro.backend.ports import PortConfig
+from repro.pipeline import CoreConfig, OutOfOrderCore, simulate_trace
+from repro.rename.optimizations import RenameOptimizationConfig
+
+
+def test_baseline_retires_every_instruction(client_trace, baseline_result):
+    assert baseline_result.instructions == len(client_trace)
+    assert baseline_result.cycles > 0
+    assert 0.1 < baseline_result.ipc <= 6.0
+
+
+def test_baseline_is_deterministic(client_trace):
+    first = simulate_trace(client_trace, CoreConfig())
+    second = simulate_trace(client_trace, CoreConfig())
+    assert first.cycles == second.cycles
+    assert first.power_events == second.power_events
+
+
+def test_golden_checks_cover_all_loads(client_trace, baseline_result):
+    assert baseline_result.stats.golden_checks == len(client_trace.loads())
+
+
+def test_resource_counters_are_consistent(baseline_result):
+    stats = baseline_result.stats
+    resources = baseline_result.resource_stats
+    assert resources["rob_allocations"] >= baseline_result.instructions
+    assert resources["rs_allocations"] <= resources["rob_allocations"]
+    assert stats.rs_issues <= resources["rs_allocations"]
+    assert stats.loads_executed <= stats.loads_renamed
+
+
+def test_ipc_bounded_by_rename_width(baseline_result):
+    assert baseline_result.ipc <= CoreConfig().rename_width + 1e-9
+
+
+def test_power_events_present(baseline_result):
+    events = baseline_result.power_events
+    for key in ("uops_fetched", "uops_renamed", "rs_allocations", "l1d_accesses",
+                "dtlb_accesses", "retired", "cycles"):
+        assert key in events
+        assert events[key] >= 0
+    assert events["l1d_accesses"] > 0
+
+
+def test_memory_stats_reported(baseline_result):
+    assert baseline_result.memory_stats["l1d"]["accesses"] > 0
+    assert baseline_result.memory_stats["dtlb_accesses"] > 0
+
+
+def test_branch_predictor_is_exercised(ispec_trace):
+    result = simulate_trace(ispec_trace, CoreConfig())
+    assert result.stats.branches_predicted > 0
+    assert result.stats.branch_mispredictions >= 1
+    assert result.stats.branch_mispredictions < result.stats.branches_predicted
+
+
+def test_wider_load_width_never_slows_down(client_trace, baseline_result):
+    wide = simulate_trace(client_trace, CoreConfig().with_load_width(6))
+    assert wide.cycles <= baseline_result.cycles * 1.02
+
+
+def test_scaling_down_resources_hurts_or_equals(client_trace, baseline_result):
+    shallow = simulate_trace(client_trace, CoreConfig().with_depth_scale(0.125))
+    assert shallow.cycles >= baseline_result.cycles
+
+
+def test_narrow_machine_is_slower(client_trace, baseline_result):
+    narrow = CoreConfig(fetch_width=2, decode_width=2, rename_width=2, retire_width=2,
+                        ports=PortConfig(issue_width=2, alu=2, load=1,
+                                         store_address=1, store_data=1))
+    result = simulate_trace(client_trace, narrow)
+    assert result.cycles > baseline_result.cycles
+
+
+def test_disabling_rename_optimizations_increases_rs_pressure(client_trace, baseline_result):
+    config = CoreConfig(rename_optimizations=RenameOptimizationConfig(
+        move_elimination=False, zero_elimination=False,
+        constant_folding=False, branch_folding=False))
+    result = simulate_trace(client_trace, config)
+    assert (result.resource_stats["rs_allocations"]
+            > baseline_result.resource_stats["rs_allocations"])
+
+
+def test_memory_renaming_can_be_disabled(client_trace):
+    result = simulate_trace(client_trace, CoreConfig(enable_memory_renaming=False))
+    assert result.instructions == len(client_trace)
+
+
+def test_load_utilized_cycles_fraction_sane(baseline_result):
+    fraction = baseline_result.stats.load_utilized_cycles / baseline_result.cycles
+    assert 0.0 < fraction < 1.0
+
+
+def test_core_rejects_empty_and_oversubscribed_traces(client_trace):
+    with pytest.raises(ValueError):
+        OutOfOrderCore(CoreConfig(), [])
+    with pytest.raises(ValueError):
+        OutOfOrderCore(CoreConfig(), [client_trace] * 3)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CoreConfig(rename_width=0)
+    with pytest.raises(ValueError):
+        CoreConfig(lvp="unknown")
+    with pytest.raises(ValueError):
+        CoreConfig().with_load_width(0)
+
+
+def test_config_copy_is_independent():
+    config = CoreConfig()
+    wider = config.with_load_width(5)
+    assert config.ports.load == 3
+    assert wider.ports.load == 5
+    deeper = config.with_depth_scale(2.0)
+    assert deeper.sizes.rob == config.sizes.rob * 2

@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats_utils import box_whisker_summary, geomean
+from repro.core import AddressMonitorTable, ConstableConfig, StableLoadDetector
+from repro.isa.instruction import MemOperand, AddressingMode
+from repro.isa.registers import STACK_REGISTERS
+from repro.memory.cache import CacheConfig, SetAssociativeCache
+from repro.workloads.vm import SparseMemory
+
+_addresses = st.integers(min_value=0, max_value=(1 << 44) - 1)
+_values = st.integers(min_value=0, max_value=(1 << 64) - 1)
+_pcs = st.integers(min_value=0x1000, max_value=0xFFFFFF)
+
+
+@given(st.lists(st.tuples(_addresses, _values), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_sparse_memory_reads_back_last_write(writes):
+    memory = SparseMemory()
+    shadow = {}
+    for address, value in writes:
+        memory.write(address, value)
+        shadow[address & ~0x7] = value
+    for word, value in shadow.items():
+        assert memory.read(word) == value
+
+
+@given(st.lists(_addresses, min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_cache_occupancy_never_exceeds_capacity(addresses):
+    cache = SetAssociativeCache(CacheConfig("L1", 16 * 64, 4, line_size=64))
+    for address in addresses:
+        if not cache.access(address):
+            cache.fill(address)
+    assert cache.resident_lines() <= 16
+    assert cache.stats.hits + cache.stats.misses == len(addresses)
+
+
+@given(st.lists(st.tuples(_pcs, _addresses, _values), min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_sld_confidence_is_always_within_counter_range(executions):
+    config = ConstableConfig(confidence_threshold=8)
+    sld = StableLoadDetector(config)
+    for pc, address, value in executions:
+        entry = sld.record_execution(pc, address, value)
+        assert 0 <= entry.confidence <= config.confidence_max
+    assert sld.tracked_loads() <= config.sld_entries
+
+
+@given(st.lists(st.tuples(_addresses, _pcs), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_amt_capacity_invariants(insertions):
+    config = ConstableConfig(confidence_threshold=8)
+    amt = AddressMonitorTable(config)
+    for address, pc in insertions:
+        amt.insert(address, pc)
+        assert amt.tracked_lines() <= config.amt_entries
+    for address, _ in insertions:
+        assert len(amt.lookup(address)) <= config.amt_pcs_per_entry
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_geomean_is_bounded_by_min_and_max(values):
+    result = geomean(values)
+    assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_box_whisker_summary_ordering(values):
+    summary = box_whisker_summary(values)
+    tolerance = 1e-9 + 1e-9 * max(abs(v) for v in values)
+    assert summary["min"] <= summary["q1"] <= summary["median"] <= summary["q3"] <= summary["max"]
+    assert summary["min"] - tolerance <= summary["mean"] <= summary["max"] + tolerance
+
+
+@given(base=st.one_of(st.none(), st.integers(min_value=0, max_value=15)),
+       index=st.one_of(st.none(), st.integers(min_value=0, max_value=15)),
+       scale=st.sampled_from([1, 2, 4, 8]),
+       disp=st.integers(min_value=-4096, max_value=1 << 30))
+@settings(max_examples=200, deadline=None)
+def test_addressing_mode_classification_is_total_and_consistent(base, index, scale, disp):
+    operand = MemOperand(base=base, index=index, scale=scale, disp=disp)
+    mode = operand.addressing_mode()
+    registers = operand.address_registers()
+    if not registers:
+        assert mode is AddressingMode.PC_RELATIVE
+    elif all(r in STACK_REGISTERS for r in registers):
+        assert mode is AddressingMode.STACK_RELATIVE
+    else:
+        assert mode is AddressingMode.REG_RELATIVE
+
+
+@given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=50, deadline=None)
+def test_vm_trace_sequence_numbers_are_dense(budget, seed):
+    from repro.workloads.suites import workload_specs_for_suite
+    from repro.workloads.generator import generate_trace
+    spec = workload_specs_for_suite("Client")[seed % 3]
+    trace = generate_trace(spec, num_instructions=budget)
+    sequence = [d.seq for d in trace.instructions]
+    assert sequence == list(range(len(sequence)))

@@ -1,0 +1,58 @@
+"""Tests for the shared statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats_utils import box_whisker_summary, geomean, speedup, weighted_fraction
+
+
+def test_geomean_of_identical_values():
+    assert abs(geomean([2.0, 2.0, 2.0]) - 2.0) < 1e-12
+
+
+def test_geomean_matches_closed_form():
+    values = [1.0, 2.0, 4.0]
+    assert abs(geomean(values) - 2.0) < 1e-12
+
+
+def test_geomean_empty_returns_one():
+    assert geomean([]) == 1.0
+
+
+def test_geomean_rejects_non_positive():
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+
+
+def test_speedup_ratio():
+    assert speedup(200, 100) == 2.0
+    with pytest.raises(ValueError):
+        speedup(0, 10)
+
+
+def test_weighted_fraction():
+    assert weighted_fraction([1, 2], [4, 4]) == pytest.approx(0.375)
+    assert weighted_fraction([], []) == 0.0
+
+
+def test_box_whisker_summary_quartiles():
+    summary = box_whisker_summary([1, 2, 3, 4, 5])
+    assert summary["median"] == 3
+    assert summary["q1"] == 2
+    assert summary["q3"] == 4
+    assert summary["min"] == 1 and summary["max"] == 5
+    assert summary["mean"] == 3
+
+
+def test_box_whisker_summary_empty():
+    summary = box_whisker_summary([])
+    assert summary["mean"] == 0.0
+    assert summary["median"] == 0.0
+
+
+def test_box_whisker_whiskers_clamp_to_observed_values():
+    summary = box_whisker_summary([1, 1, 1, 1, 100])
+    assert summary["whisker_high"] <= 100
+    assert summary["whisker_low"] >= 1
+    assert not math.isnan(summary["whisker_high"])

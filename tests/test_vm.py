@@ -1,0 +1,133 @@
+"""Unit tests for the functional VM and sparse memory."""
+
+import pytest
+
+from repro.isa.program import ProgramBuilder
+from repro.isa.registers import RBP
+from repro.workloads.vm import FunctionalVM, SparseMemory, default_memory_value
+
+
+def test_sparse_memory_default_values_are_deterministic():
+    memory = SparseMemory()
+    assert memory.read(0x1000) == memory.read(0x1000)
+    assert memory.read(0x1000) == default_memory_value(0x1000)
+    assert not memory.is_written(0x1000)
+
+
+def test_sparse_memory_word_alignment():
+    memory = SparseMemory()
+    memory.write(0x1004, 77)
+    # Bytes within the same 8-byte word read the same value.
+    assert memory.read(0x1000) == 77
+    assert memory.is_written(0x1007)
+
+
+def test_sparse_memory_initial_contents():
+    memory = SparseMemory(initial={0x2000: 123})
+    assert memory.read(0x2000) == 123
+
+
+def test_vm_executes_alu_and_moves():
+    builder = ProgramBuilder()
+    builder.movi(0, 10)
+    builder.movi(1, 32)
+    builder.alu(2, (0, 1), op="add")
+    builder.movr(3, 2)
+    program = builder.build()
+    vm = FunctionalVM(program)
+    vm.run(4)
+    assert vm.registers.read(2) == 42
+    assert vm.registers.read(3) == 42
+
+
+def test_vm_load_store_roundtrip():
+    builder = ProgramBuilder()
+    builder.movi(0, 0xABC)
+    builder.store(0, base=None, disp=0x5000)
+    builder.load(1, base=None, disp=0x5000)
+    program = builder.build()
+    vm = FunctionalVM(program)
+    records = vm.run(3)
+    assert vm.registers.read(1) == 0xABC
+    assert records[1].is_store and records[1].store_value == 0xABC
+    assert records[2].is_load and records[2].load_value == 0xABC
+    assert records[2].address == 0x5000
+
+
+def test_vm_effective_address_with_base_index_scale():
+    builder = ProgramBuilder()
+    builder.movi(0, 0x1000)
+    builder.movi(1, 4)
+    builder.load(2, base=0, index=1, scale=8, disp=0x10)
+    program = builder.build()
+    vm = FunctionalVM(program)
+    records = vm.run(3)
+    assert records[2].address == 0x1000 + 4 * 8 + 0x10
+
+
+def test_vm_branch_taken_and_not_taken():
+    builder = ProgramBuilder()
+    builder.movi(0, 2)
+    top = builder.here("top")
+    builder.addi(0, 0, -1)
+    builder.jnz(0, top)
+    builder.nop()
+    program = builder.build()
+    vm = FunctionalVM(program)
+    records = vm.run(6)
+    branches = [r for r in records if r.is_branch]
+    assert branches[0].branch_taken is True
+    assert branches[1].branch_taken is False
+
+
+def test_vm_loop_trace_length_and_halt():
+    builder = ProgramBuilder()
+    builder.movi(0, 1)
+    builder.nop()
+    program = builder.build()
+    vm = FunctionalVM(program)
+    records = vm.run(100)
+    assert len(records) == 2
+    assert vm.halted
+    with pytest.raises(RuntimeError):
+        vm.step()
+
+
+def test_vm_stack_relative_addressing_uses_rbp():
+    builder = ProgramBuilder()
+    builder.movi(RBP, 0x7FFF0000)
+    builder.movi(0, 5)
+    builder.store(0, base=RBP, disp=-16)
+    builder.load(1, base=RBP, disp=-16)
+    vm = FunctionalVM(builder.build())
+    vm.run(4)
+    assert vm.registers.read(1) == 5
+
+
+def test_vm_lcg_operation_changes_value():
+    builder = ProgramBuilder()
+    builder.movi(0, 1)
+    builder.alu(0, (0,), op="lcg")
+    builder.alu(0, (0,), op="lcg")
+    vm = FunctionalVM(builder.build())
+    vm.run(3)
+    assert vm.registers.read(0) != 1
+
+
+def test_vm_rejects_nonpositive_budget():
+    builder = ProgramBuilder()
+    builder.nop()
+    vm = FunctionalVM(builder.build())
+    with pytest.raises(ValueError):
+        vm.run(0)
+
+
+def test_vm_external_write_visible_to_later_loads():
+    builder = ProgramBuilder()
+    builder.load(0, base=None, disp=0x6000)
+    builder.load(1, base=None, disp=0x6000)
+    vm = FunctionalVM(builder.build())
+    vm.step()
+    vm.apply_external_write(0x6000, 999)
+    record = vm.step()
+    assert record.load_value == 999
