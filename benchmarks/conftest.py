@@ -6,12 +6,28 @@ runs in minutes.  Results are cached in a session-scoped runner: configurations
 shared by several figures (baseline, EVES, Constable, ...) are only simulated
 once.  Pass a larger runner (``ExperimentRunner(per_suite=None, ...)``) through
 ``repro.experiments`` directly to reproduce the full 90-workload sweep.
+
+Two environment variables opt the whole benchmark session into the scaled-out
+execution layer:
+
+* ``REPRO_BENCH_WORKERS=N`` (N > 1) shards simulations over an N-process
+  :class:`~repro.experiments.parallel.ParallelExperimentRunner` pool.
+* ``REPRO_BENCH_CACHE=<dir>`` attaches a shared on-disk
+  :class:`~repro.experiments.cache.ResultCache` at ``<dir>``, so repeated
+  benchmark runs (and any other harness pointed at the same directory) reuse
+  simulation results instead of recomputing them.  Cache keys cover the full
+  core configuration, workload spec, trace parameters and a schema version,
+  so stale hits across code changes are prevented by bumping
+  :data:`repro.experiments.cache.SCHEMA_VERSION`.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.experiments.figures import default_runner
 from repro.experiments.runner import ExperimentRunner
 
 #: Workloads per suite and trace length used by the benchmark harnesses.
@@ -19,10 +35,20 @@ BENCH_PER_SUITE = 1
 BENCH_INSTRUCTIONS = 5000
 
 
+def _runner_from_environment() -> ExperimentRunner:
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0") or "0")
+    return default_runner(per_suite=BENCH_PER_SUITE,
+                          instructions=BENCH_INSTRUCTIONS,
+                          workers=workers,
+                          cache_dir=os.environ.get("REPRO_BENCH_CACHE") or None)
+
+
 @pytest.fixture(scope="session")
 def bench_runner():
     """One shared reduced-workload runner for every figure benchmark."""
-    return ExperimentRunner(per_suite=BENCH_PER_SUITE, instructions=BENCH_INSTRUCTIONS)
+    runner = _runner_from_environment()
+    yield runner
+    runner.close()
 
 
 def run_once(benchmark, function, *args, **kwargs):

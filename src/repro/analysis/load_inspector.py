@@ -68,6 +68,36 @@ class LoadSiteStats:
         """True if every dynamic instance fetched the same value from the same address."""
         return self.stable and self.dynamic_count > 1
 
+    # ------------------------------------------------------------ serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable dictionary holding the per-site statistics."""
+        return {
+            "pc": self.pc,
+            "addressing_mode": self.addressing_mode.value,
+            "dynamic_count": self.dynamic_count,
+            "first_address": self.first_address,
+            "first_value": self.first_value,
+            "stable": self.stable,
+            "last_seq": self.last_seq,
+            "distance_buckets": dict(self.distance_buckets),
+            "distinct_addresses": sorted(self.distinct_addresses),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LoadSiteStats":
+        """Rebuild per-site statistics from :meth:`to_dict` output."""
+        site = cls(int(data["pc"]), AddressingMode(data["addressing_mode"]))
+        site.dynamic_count = int(data["dynamic_count"])
+        site.first_address = data["first_address"]
+        site.first_value = data["first_value"]
+        site.stable = bool(data["stable"])
+        site.last_seq = data["last_seq"]
+        site.distance_buckets.update({str(label): int(count)
+                                      for label, count in data["distance_buckets"].items()})
+        site.distinct_addresses = set(data["distinct_addresses"])
+        return site
+
 
 class GlobalStableReport:
     """Aggregated Load Inspector results for one trace."""
@@ -165,6 +195,27 @@ class GlobalStableReport:
             "addressing_mode_breakdown": self.addressing_mode_breakdown(),
             "distance_distribution": self.distance_distribution(),
         }
+
+    # ------------------------------------------------------------ serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable dictionary holding the full report.
+
+        Site order is preserved (not sorted): aggregate fractions accumulate
+        floats in site order, so round-tripping must not reorder sites or the
+        rebuilt report could differ from the original in the last ulp.
+        """
+        return {
+            "total_instructions": self.total_instructions,
+            "sites": [site.to_dict() for site in self.sites.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "GlobalStableReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        sites = {int(entry["pc"]): LoadSiteStats.from_dict(entry)
+                 for entry in data["sites"]}
+        return cls(sites, int(data["total_instructions"]))
 
 
 class LoadInspector:

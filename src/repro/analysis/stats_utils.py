@@ -42,7 +42,10 @@ def _percentile(sorted_values: List[float], fraction: float) -> float:
     if lower == upper:
         return sorted_values[lower]
     weight = position - lower
-    return sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+    interpolated = sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+    # Rounding (e.g. with subnormal inputs) can push the interpolation outside
+    # [lower, upper]; clamp so quantiles always respect the value ordering.
+    return min(max(interpolated, sorted_values[lower]), sorted_values[upper])
 
 
 def box_whisker_summary(values: Iterable[float]) -> Dict[str, float]:

@@ -11,11 +11,18 @@ from repro.experiments.configs import (
     constable_engine_config,
     named_configs,
 )
-from repro.experiments.runner import ExperimentRunner, WorkloadRun
+from repro.experiments.cache import ResultCache, SCHEMA_VERSION, config_fingerprint
+from repro.experiments.runner import ExperimentRunner, SimulationJob, WorkloadRun
+from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments import figures
 from repro.experiments.reporting import format_table, format_percent
 
 __all__ = [
+    "ResultCache",
+    "SCHEMA_VERSION",
+    "config_fingerprint",
+    "SimulationJob",
+    "ParallelExperimentRunner",
     "EXPERIMENT_CONFIDENCE_THRESHOLD",
     "baseline_config",
     "constable_config",

@@ -1,0 +1,189 @@
+"""Content-addressed on-disk cache for simulation results.
+
+A cache entry is keyed by a SHA-256 fingerprint of everything that determines
+a simulation's outcome: the fully materialised :class:`CoreConfig`, the
+:class:`WorkloadSpec`, the trace-generation parameters (instruction budget,
+architectural register count, base PC) and a schema version.  Workload traces
+are regenerated deterministically from the spec's seed, so the trace itself
+never needs to be stored — two runs that fingerprint identically simulate
+identically.
+
+Bumping :data:`SCHEMA_VERSION` invalidates every existing entry; bump it
+whenever the timing model or the :class:`SimulationResult` layout changes in a
+way that makes old results incomparable.
+
+The cache directory defaults to ``.repro-cache`` in the working directory and
+can be redirected with the ``REPRO_CACHE_DIR`` environment variable.  Entries
+are plain JSON files laid out as ``<dir>/<key[:2]>/<key>.json`` with atomic
+(write-to-temp, rename) stores, so a cache directory may safely be shared by
+several concurrent figure harnesses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.stats import SimulationResult
+from repro.workloads.suites import WorkloadSpec
+
+#: Version of the cached-result schema; bump to invalidate all prior entries.
+SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Per-class runtime fields excluded from fingerprints: they accumulate while
+#: a simulation runs and say nothing about what will be simulated.
+_FINGERPRINT_EXCLUDE: Dict[str, frozenset] = {
+    "IdealOracle": frozenset({"_seen", "loads_covered", "loads_seen"}),
+}
+
+
+def canonical_value(value: object) -> object:
+    """Reduce ``value`` to a deterministic JSON-serializable form.
+
+    Dataclasses become sorted field dictionaries, enums their values, sets
+    sorted lists; insertion order never leaks into the result, so logically
+    equal configurations always fingerprint identically.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        excluded = _FINGERPRINT_EXCLUDE.get(type(value).__name__, frozenset())
+        return {f.name: canonical_value(getattr(value, f.name))
+                for f in dataclasses.fields(value) if f.name not in excluded}
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (set, frozenset)):
+        return sorted(canonical_value(item) for item in value)
+    if isinstance(value, dict):
+        return {str(key): canonical_value(val)
+                for key, val in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot fingerprint value of type {type(value).__name__}: {value!r}")
+
+
+def config_fingerprint(config: CoreConfig) -> Dict[str, object]:
+    """Canonical dictionary of every outcome-relevant field of a core config."""
+    return canonical_value(config)
+
+
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ResultCache`."""
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+class ResultCache:
+    """Content-addressed, JSON-backed store of :class:`SimulationResult`."""
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None,
+                 schema_version: int = SCHEMA_VERSION):
+        if directory is None:
+            directory = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.directory = Path(directory)
+        # Fail fast rather than after the first (expensive) simulation's put().
+        if self.directory.exists() and not self.directory.is_dir():
+            raise NotADirectoryError(
+                f"result cache path {self.directory} exists and is not a directory")
+        self.schema_version = schema_version
+        self.stats = CacheStats()
+
+    # --------------------------------------------------------------------- keys
+
+    def key_for(self, config: CoreConfig, spec: WorkloadSpec,
+                instructions: int, num_registers: int,
+                base_pc: int = 0x400000) -> str:
+        """The content hash identifying one (config, workload, trace) job."""
+        payload = {
+            "schema": self.schema_version,
+            "config": config_fingerprint(config),
+            "workload": spec.to_dict(),
+            "trace": {
+                "instructions": instructions,
+                "num_registers": num_registers,
+                "base_pc": base_pc,
+            },
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _path_for(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------ get/put
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for ``key``, or None (corrupt entries are misses)."""
+        path = self._path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("schema") != self.schema_version:
+                raise ValueError("schema mismatch")
+            result = SimulationResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store ``result`` under ``key`` atomically (temp file + rename)."""
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": self.schema_version, "key": key,
+                   "result": result.to_dict()}
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=path.parent,
+            prefix=f".{key[:8]}.", suffix=".tmp", delete=False)
+        try:
+            with handle:
+                json.dump(payload, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    # --------------------------------------------------------------- management
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -32,6 +32,8 @@ from repro.experiments.configs import (
     rfp_config,
     rfp_constable_config,
 )
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.reporting import format_table, per_suite_table
 from repro.experiments.runner import ExperimentRunner
 from repro.isa.instruction import AddressingMode
@@ -42,9 +44,21 @@ from repro.workloads.generator import generate_trace
 from repro.workloads.suites import SUITE_NAMES
 
 
-def default_runner(per_suite: int = 2, instructions: int = 6000) -> ExperimentRunner:
-    """The reduced workload set used by the benchmark harnesses."""
-    return ExperimentRunner(per_suite=per_suite, instructions=instructions)
+def default_runner(per_suite: int = 2, instructions: int = 6000,
+                   workers: Optional[int] = None,
+                   cache_dir: Optional[str] = None) -> ExperimentRunner:
+    """The reduced workload set used by the benchmark harnesses.
+
+    Every figure harness accepts either runner flavour: pass ``workers > 1``
+    for a :class:`ParallelExperimentRunner` that shards simulations over a
+    process pool, and/or ``cache_dir`` to share an on-disk result cache with
+    other harnesses and reruns.
+    """
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    if workers is not None and workers > 1:
+        return ParallelExperimentRunner(per_suite=per_suite, instructions=instructions,
+                                        cache=cache, max_workers=workers)
+    return ExperimentRunner(per_suite=per_suite, instructions=instructions, cache=cache)
 
 
 def _ideal_builder(mode: IdealMode, lvp: Optional[str] = None):

@@ -1,0 +1,145 @@
+"""Parallel, sharded experiment execution over a process pool.
+
+:class:`ParallelExperimentRunner` reuses the whole planning/aggregation core of
+:class:`~repro.experiments.runner.ExperimentRunner` and overrides only the
+``_execute_jobs`` hook: outstanding (workload, configuration) jobs are sharded
+across ``max_workers`` OS processes via :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Determinism guarantees (enforced by ``tests/test_parallel_determinism.py``):
+
+* **Per-shard seeding.**  Workers never receive pickled traces; each worker
+  regenerates the trace it needs from the :class:`WorkloadSpec`'s embedded
+  seed, which drives every RNG in the generation pipeline.  A workload's trace
+  is therefore bit-identical in every worker and to the parent's copy,
+  regardless of how jobs land on shards.
+* **Order-independent merge.**  Results are merged into a dictionary keyed by
+  workload name as futures complete; since each workload appears in at most
+  one job per configuration, completion order cannot change the merged value,
+  and downstream aggregation (speedups, geomeans) iterates over the runner's
+  workload order, never shard order.
+* **Deterministic sharding.**  Jobs are submitted in sorted workload order so
+  a fixed worker count also yields a reproducible shard assignment.
+
+Worker processes memoise regenerated traces keyed by (workload, instruction
+budget, register count), so a sweep running many configurations over the same
+workloads pays trace regeneration once per worker, not once per job.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import ExperimentRunner, SimulationJob
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.cpu import OutOfOrderCore
+from repro.pipeline.stats import SimulationResult
+from repro.workloads.generator import generate_trace
+from repro.workloads.suites import SUITE_NAMES, WorkloadSpec
+from repro.workloads.trace import Trace
+
+#: Per-worker memo of regenerated traces: (workload, instructions, registers) -> Trace.
+_WORKER_TRACES: Dict[Tuple[str, int, int], Trace] = {}
+
+
+def _regenerate_trace(spec_dict: Dict[str, object], instructions: int,
+                      num_registers: int) -> Trace:
+    """Deterministically rebuild (and memoise) a workload trace in this worker."""
+    key = (str(spec_dict["name"]), instructions, num_registers)
+    trace = _WORKER_TRACES.get(key)
+    if trace is None:
+        spec = WorkloadSpec.from_dict(spec_dict)
+        trace = generate_trace(spec, num_instructions=instructions,
+                               num_registers=num_registers)
+        _WORKER_TRACES[key] = trace
+    return trace
+
+
+def simulate_job_payload(payload: Tuple[str, Dict[str, object], int, int, CoreConfig]
+                         ) -> Tuple[str, SimulationResult]:
+    """Worker entry point: regenerate the trace, simulate, return (workload, result).
+
+    Module-level (not a closure) so it pickles under every start method.
+    """
+    config_name, spec_dict, instructions, num_registers, config = payload
+    trace = _regenerate_trace(spec_dict, instructions, num_registers)
+    core = OutOfOrderCore(config, [trace], name=config_name)
+    return str(spec_dict["name"]), core.run()
+
+
+def _default_start_method() -> str:
+    """Prefer fork (cheap, shares the imported simulator) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+class ParallelExperimentRunner(ExperimentRunner):
+    """Shards outstanding simulation jobs across a pool of worker processes.
+
+    Everything else — workload generation, result caching, speedup/geomean
+    aggregation, the on-disk :class:`ResultCache` protocol — is inherited from
+    the serial runner, so the two are drop-in interchangeable anywhere an
+    :class:`ExperimentRunner` is accepted (figure harnesses, benchmarks,
+    examples).
+    """
+
+    def __init__(self, per_suite: Optional[int] = 2, instructions: int = 6000,
+                 num_registers: int = 16,
+                 suites: Sequence[str] = SUITE_NAMES,
+                 attach_stats_oracle: bool = True,
+                 cache: Optional[ResultCache] = None,
+                 max_workers: Optional[int] = None,
+                 start_method: Optional[str] = None):
+        super().__init__(per_suite=per_suite, instructions=instructions,
+                         num_registers=num_registers, suites=suites,
+                         attach_stats_oracle=attach_stats_oracle, cache=cache)
+        if max_workers is None:
+            max_workers = min(4, os.cpu_count() or 1)
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+        self.start_method = start_method or _default_start_method()
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ----------------------------------------------------------------- executor
+
+    def _executor(self) -> ProcessPoolExecutor:
+        """The lazily created, reused worker pool (keeps worker trace memos warm)."""
+        if self._pool is None:
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers,
+                                             mp_context=context)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down; the runner may be reused (pool respawns)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    # ---------------------------------------------------------------- execution
+
+    def _execute_jobs(self, jobs: Sequence[SimulationJob]) -> Dict[str, SimulationResult]:
+        """Shard ``jobs`` across the pool and merge keyed by workload name."""
+        if len(jobs) <= 1 or self.max_workers == 1:
+            return super()._execute_jobs(jobs)
+        ordered = sorted(jobs, key=lambda job: job.workload)
+        pool = self._executor()
+        futures = []
+        for job in ordered:
+            payload = (job.config_name, job.run.spec.to_dict(),
+                       self.instructions, self.num_registers, job.config)
+            futures.append(pool.submit(simulate_job_payload, payload))
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        try:
+            results: Dict[str, SimulationResult] = {}
+            for future in done:
+                workload, result = future.result()
+                results[workload] = result
+            return results
+        finally:
+            for future in not_done:
+                future.cancel()

@@ -6,6 +6,23 @@ the simulation twice.  Workload count and trace length are parameters: the
 benchmarks use a reduced set (a few workloads per suite, a few thousand
 instructions) so the whole suite finishes in minutes, while the full
 90-workload sweep of the paper is available by passing ``per_suite=None``.
+
+The execution layer is split in two so serial and parallel runners share one
+job-planning/aggregation core:
+
+* :meth:`ExperimentRunner.run_config` plans the outstanding
+  :class:`SimulationJob` list (consulting the optional on-disk
+  :class:`~repro.experiments.cache.ResultCache` first), hands the jobs to
+  :meth:`ExperimentRunner._execute_jobs`, and commits the merged results
+  *atomically* — either every selected workload gets a result or none does,
+  so a config factory raising mid-sweep can never leave a partially populated
+  :class:`WorkloadRun` that later aggregation misreads as complete.
+* :meth:`ExperimentRunner._execute_jobs` simulates the planned jobs.  The base
+  class runs them serially in-process;
+  :class:`~repro.experiments.parallel.ParallelExperimentRunner` overrides just
+  this hook to shard the jobs over a process pool.  Results are merged into a
+  dictionary keyed by workload name, so shard completion order never affects
+  the aggregate.
 """
 
 from __future__ import annotations
@@ -15,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.load_inspector import GlobalStableReport, inspect_trace
 from repro.analysis.stats_utils import geomean
+from repro.experiments.cache import ResultCache
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.cpu import OutOfOrderCore
 from repro.pipeline.smt import SmtResult, simulate_smt_pair
@@ -39,13 +57,40 @@ class WorkloadRun:
     results: Dict[str, SimulationResult] = field(default_factory=dict)
 
 
+@dataclass
+class SimulationJob:
+    """One planned (workload, configuration) simulation.
+
+    The configuration is fully materialised (oracles built, stats-oracle PCs
+    attached), so executing a job needs nothing beyond the job itself plus the
+    workload's trace — which executors may regenerate deterministically from
+    ``run.spec`` instead of shipping the trace across a process boundary.
+    """
+
+    config_name: str
+    run: WorkloadRun
+    config: CoreConfig
+    cache_key: Optional[str] = None
+
+    @property
+    def workload(self) -> str:
+        return self.run.spec.name
+
+
 class ExperimentRunner:
-    """Runs named configurations over a (possibly reduced) workload set."""
+    """Runs named configurations over a (possibly reduced) workload set.
+
+    When a :class:`~repro.experiments.cache.ResultCache` is attached, every
+    planned job consults the on-disk store before simulating and publishes its
+    result afterwards, so reruns and figure harnesses sharing a cache directory
+    skip simulation entirely on warm entries.
+    """
 
     def __init__(self, per_suite: Optional[int] = 2, instructions: int = 6000,
                  num_registers: int = 16,
                  suites: Sequence[str] = SUITE_NAMES,
-                 attach_stats_oracle: bool = True):
+                 attach_stats_oracle: bool = True,
+                 cache: Optional[ResultCache] = None):
         if instructions <= 0:
             raise ValueError("instructions must be positive")
         self.per_suite = per_suite
@@ -53,6 +98,7 @@ class ExperimentRunner:
         self.num_registers = num_registers
         self.suites = list(suites)
         self.attach_stats_oracle = attach_stats_oracle
+        self.cache = cache
         self._workloads: Optional[Dict[str, WorkloadRun]] = None
 
     # ---------------------------------------------------------------- workloads
@@ -93,19 +139,90 @@ class ExperimentRunner:
                 stats_oracle_pcs=run.report.global_stable_pcs())
         return materialised
 
-    def run_config(self, name: str, config: ConfigLike,
-                   workload_names: Optional[Sequence[str]] = None) -> Dict[str, SimulationResult]:
-        """Run ``config`` over the workload set; results are cached by ``name``."""
-        results: Dict[str, SimulationResult] = {}
+    def plan_jobs(self, name: str, config: ConfigLike,
+                  workload_names: Optional[Sequence[str]] = None) -> List[SimulationJob]:
+        """Materialise one :class:`SimulationJob` per workload still missing ``name``.
+
+        Planning materialises every configuration *before* anything executes,
+        so a factory raising mid-sweep aborts the whole sweep with the in-memory
+        result store untouched.
+        """
+        jobs: List[SimulationJob] = []
         for workload_name, run in self.workloads().items():
             if workload_names is not None and workload_name not in workload_names:
                 continue
-            if name not in run.results:
-                core_config = self._materialise_config(config, run)
-                core = OutOfOrderCore(core_config, [run.trace], name=name)
-                run.results[name] = core.run()
+            if name in run.results:
+                continue
+            core_config = self._materialise_config(config, run)
+            cache_key = None
+            if self.cache is not None:
+                cache_key = self.cache.key_for(core_config, run.spec,
+                                               self.instructions, self.num_registers)
+            jobs.append(SimulationJob(config_name=name, run=run,
+                                      config=core_config, cache_key=cache_key))
+        return jobs
+
+    def _execute_jobs(self, jobs: Sequence[SimulationJob]) -> Dict[str, SimulationResult]:
+        """Simulate every planned job serially; subclasses override to shard.
+
+        Returns results keyed by workload name, so merging is independent of
+        execution/completion order.
+        """
+        results: Dict[str, SimulationResult] = {}
+        for job in jobs:
+            core = OutOfOrderCore(job.config, [job.run.trace], name=job.config_name)
+            results[job.workload] = core.run()
+        return results
+
+    def run_config(self, name: str, config: ConfigLike,
+                   workload_names: Optional[Sequence[str]] = None) -> Dict[str, SimulationResult]:
+        """Run ``config`` over the workload set; results are cached by ``name``.
+
+        Results are committed atomically: if planning, simulation or cache
+        lookup raises for any workload, no workload's result store is touched.
+        """
+        jobs = self.plan_jobs(name, config, workload_names)
+        staged: Dict[str, SimulationResult] = {}
+        outstanding: List[SimulationJob] = []
+        for job in jobs:
+            cached = self.cache.get(job.cache_key) if job.cache_key is not None else None
+            if cached is not None:
+                staged[job.workload] = cached
+            else:
+                outstanding.append(job)
+        if outstanding:
+            staged.update(self._execute_jobs(outstanding))
+        missing = [job.workload for job in jobs if job.workload not in staged]
+        if missing:
+            raise RuntimeError(
+                f"executor returned no result for workloads {missing!r} of config {name!r}")
+        # Commit only after every job succeeded — and before the disk-store
+        # writes, so a cache I/O failure (disk full, permissions) cannot throw
+        # away an entire successfully simulated sweep.
+        workloads = self.workloads()
+        for workload_name, result in staged.items():
+            workloads[workload_name].results[name] = result
+        if self.cache is not None:
+            for job in outstanding:
+                self.cache.put(job.cache_key, staged[job.workload])
+
+        results: Dict[str, SimulationResult] = {}
+        for workload_name, run in workloads.items():
+            if workload_names is not None and workload_name not in workload_names:
+                continue
             results[workload_name] = run.results[name]
         return results
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release executor resources (no-op for the serial runner)."""
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ---------------------------------------------------------------- reporting
 

@@ -1,7 +1,14 @@
-"""Simulation statistics and the result record returned by the core model."""
+"""Simulation statistics and the result record returned by the core model.
+
+Both records round-trip losslessly through plain dictionaries
+(:meth:`to_dict` / :meth:`from_dict`) so results can be stored in the on-disk
+experiment cache and shipped across process boundaries as JSON.
+"""
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -74,6 +81,27 @@ class PipelineStats:
                             for updates, count in self.sld_update_cycles_histogram.items())
         return total_updates / total_cycles
 
+    # ------------------------------------------------------------ serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable dictionary holding every counter."""
+        data = dataclasses.asdict(self)
+        # JSON objects have string keys; the histogram is keyed by int.
+        data["sld_update_cycles_histogram"] = {
+            str(updates): count
+            for updates, count in sorted(self.sld_update_cycles_histogram.items())}
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PipelineStats":
+        """Rebuild stats from :meth:`to_dict` output (unknown keys are ignored)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        fields = {key: value for key, value in data.items() if key in known}
+        histogram = fields.get("sld_update_cycles_histogram", {})
+        fields["sld_update_cycles_histogram"] = {
+            int(updates): int(count) for updates, count in histogram.items()}
+        return cls(**fields)
+
 
 @dataclass
 class SimulationResult:
@@ -114,3 +142,41 @@ class SimulationResult:
             "l1d_accesses": self.power_events.get("l1d_accesses", 0),
             "eliminated_loads": (self.constable_stats or {}).get("loads_eliminated", 0),
         }
+
+    # ------------------------------------------------------------ serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable dictionary holding the full result."""
+        return {
+            "trace_name": self.trace_name,
+            "config_name": self.config_name,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "stats": self.stats.to_dict(),
+            "power_events": dict(self.power_events),
+            "memory_stats": copy.deepcopy(self.memory_stats),
+            "constable_stats": (dict(self.constable_stats)
+                                if self.constable_stats is not None else None),
+            "lvp_stats": dict(self.lvp_stats) if self.lvp_stats is not None else None,
+            "resource_stats": dict(self.resource_stats),
+            "per_thread": [dict(entry) for entry in self.per_thread],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            trace_name=data["trace_name"],
+            config_name=data["config_name"],
+            cycles=int(data["cycles"]),
+            instructions=int(data["instructions"]),
+            stats=PipelineStats.from_dict(data["stats"]),
+            power_events=dict(data.get("power_events", {})),
+            memory_stats=copy.deepcopy(data.get("memory_stats", {})),
+            constable_stats=(dict(data["constable_stats"])
+                             if data.get("constable_stats") is not None else None),
+            lvp_stats=(dict(data["lvp_stats"])
+                       if data.get("lvp_stats") is not None else None),
+            resource_stats=dict(data.get("resource_stats", {})),
+            per_thread=[dict(entry) for entry in data.get("per_thread", [])],
+        )

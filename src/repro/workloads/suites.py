@@ -59,6 +59,37 @@ class WorkloadSpec:
             recipes.append((name, adjusted))
         return recipes
 
+    # ------------------------------------------------------------ serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable dictionary holding the full spec."""
+        return {
+            "name": self.name,
+            "suite": self.suite,
+            "kernels": [[kernel, dict(params)] for kernel, params in self.kernels],
+            "seed": self.seed,
+            "external_write_interval": self.external_write_interval,
+            "external_writes_silent": self.external_writes_silent,
+            "num_registers": self.num_registers,
+            "description": self.description,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WorkloadSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            suite=data["suite"],
+            kernels=[(kernel, dict(params)) for kernel, params in data["kernels"]],
+            seed=int(data.get("seed", 0)),
+            external_write_interval=int(data.get("external_write_interval", 0)),
+            external_writes_silent=bool(data.get("external_writes_silent", False)),
+            num_registers=int(data.get("num_registers", ARCH_REGISTER_COUNT)),
+            description=data.get("description", ""),
+            metadata=dict(data.get("metadata", {})),
+        )
+
 
 # --------------------------------------------------------------------------- #
 # Suite recipe templates.  Each template is a list of (kernel, params) entries;

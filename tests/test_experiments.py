@@ -105,6 +105,63 @@ def test_runner_rejects_bad_parameters():
         ExperimentRunner(instructions=0)
 
 
+def test_run_config_failure_mid_sweep_is_atomic():
+    """A config factory raising mid-sweep must not leave partial results behind.
+
+    Regression test: previously each workload's result was committed as it was
+    simulated, so a factory raising on the third workload left the first two
+    populated and ``speedups``/geomean aggregation silently used the subset.
+    """
+    runner = ExperimentRunner(per_suite=1, instructions=1000,
+                              suites=("Client", "Server"))
+    runner.run_config("baseline", baseline_config())
+    calls = {"count": 0}
+
+    def flaky_factory():
+        calls["count"] += 1
+        if calls["count"] > 1:
+            raise RuntimeError("factory exploded mid-sweep")
+        return constable_config()
+
+    with pytest.raises(RuntimeError, match="exploded"):
+        runner.run_config("flaky", flaky_factory)
+    assert calls["count"] > 1, "the factory must have been consulted more than once"
+    for run in runner.workloads().values():
+        assert "flaky" not in run.results, "no partial results may be committed"
+    assert runner.speedups("flaky") == {}
+    assert runner.geomean_speedup("flaky") == 1.0
+
+    # The sweep stays usable: a working config afterwards covers every workload.
+    results = runner.run_config("flaky", constable_config())
+    assert set(results) == set(runner.workloads())
+    assert all("flaky" in run.results for run in runner.workloads().values())
+
+
+def test_run_config_simulation_failure_is_atomic(monkeypatch):
+    """An executor raising during simulation also commits nothing."""
+    from repro.experiments import runner as runner_module
+
+    runner = ExperimentRunner(per_suite=1, instructions=1000,
+                              suites=("Client", "Server"))
+    original = runner_module.OutOfOrderCore.run
+    calls = {"count": 0}
+
+    def failing_run(self):
+        calls["count"] += 1
+        if calls["count"] > 1:
+            raise RuntimeError("simulator crashed")
+        return original(self)
+
+    monkeypatch.setattr(runner_module.OutOfOrderCore, "run", failing_run)
+    with pytest.raises(RuntimeError, match="crashed"):
+        runner.run_config("baseline", baseline_config())
+    for run in runner.workloads().values():
+        assert "baseline" not in run.results
+    monkeypatch.setattr(runner_module.OutOfOrderCore, "run", original)
+    results = runner.run_config("baseline", baseline_config())
+    assert set(results) == set(runner.workloads())
+
+
 # --------------------------------------------------------------------- figures
 
 def test_fig3_characterisation(small_runner):

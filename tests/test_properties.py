@@ -1,12 +1,18 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
+import dataclasses
+import json
+
 from hypothesis import given, settings, strategies as st
 
+from repro.analysis.load_inspector import GlobalStableReport, LoadSiteStats
 from repro.analysis.stats_utils import box_whisker_summary, geomean
 from repro.core import AddressMonitorTable, ConstableConfig, StableLoadDetector
 from repro.isa.instruction import MemOperand, AddressingMode
 from repro.isa.registers import STACK_REGISTERS
 from repro.memory.cache import CacheConfig, SetAssociativeCache
+from repro.pipeline.stats import PipelineStats, SimulationResult
+from repro.workloads.suites import WorkloadSpec
 from repro.workloads.vm import SparseMemory
 
 _addresses = st.integers(min_value=0, max_value=(1 << 44) - 1)
@@ -91,6 +97,110 @@ def test_addressing_mode_classification_is_total_and_consistent(base, index, sca
         assert mode is AddressingMode.STACK_RELATIVE
     else:
         assert mode is AddressingMode.REG_RELATIVE
+
+
+# ------------------------------------------------- serialization round-trips
+
+_counters = st.integers(min_value=0, max_value=1 << 40)
+
+
+def _json_round_trip(data):
+    return json.loads(json.dumps(data))
+
+
+@st.composite
+def pipeline_stats_strategy(draw):
+    counter_fields = [f.name for f in dataclasses.fields(PipelineStats)
+                      if f.name != "sld_update_cycles_histogram"]
+    values = {name: draw(_counters) for name in counter_fields}
+    histogram = draw(st.dictionaries(st.integers(min_value=0, max_value=64),
+                                     st.integers(min_value=1, max_value=1 << 20),
+                                     max_size=8))
+    stats = PipelineStats(**values)
+    stats.sld_update_cycles_histogram = histogram
+    return stats
+
+
+@given(pipeline_stats_strategy())
+@settings(max_examples=50, deadline=None)
+def test_pipeline_stats_serialization_round_trips(stats):
+    assert PipelineStats.from_dict(_json_round_trip(stats.to_dict())) == stats
+
+
+_metric_dicts = st.dictionaries(
+    st.text(st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=12),
+    st.one_of(st.integers(min_value=0, max_value=1 << 40),
+              st.floats(min_value=0, max_value=1e9, allow_nan=False)),
+    max_size=6)
+
+
+@given(stats=pipeline_stats_strategy(), cycles=_counters, instructions=_counters,
+       power=_metric_dicts, resources=_metric_dicts,
+       constable=st.one_of(st.none(), _metric_dicts),
+       lvp=st.one_of(st.none(), _metric_dicts))
+@settings(max_examples=50, deadline=None)
+def test_simulation_result_serialization_round_trips(stats, cycles, instructions,
+                                                     power, resources, constable, lvp):
+    result = SimulationResult(
+        trace_name="w", config_name="c", cycles=cycles, instructions=instructions,
+        stats=stats, power_events=power, resource_stats=resources,
+        constable_stats=constable, lvp_stats=lvp,
+        memory_stats={"service_levels": dict(power)},
+        per_thread=[{"thread": 0, "ipc": 1.5}])
+    assert SimulationResult.from_dict(_json_round_trip(result.to_dict())) == result
+
+
+_kernel_params = st.dictionaries(
+    st.sampled_from(["inner_iterations", "depth", "num_globals", "region_words"]),
+    st.integers(min_value=1, max_value=1 << 20), max_size=4)
+
+
+@given(name=st.text(st.characters(min_codepoint=97, max_codepoint=122),
+                    min_size=1, max_size=16),
+       suite=st.sampled_from(["Client", "Enterprise", "FSPEC17", "ISPEC17", "Server"]),
+       kernels=st.lists(st.tuples(st.sampled_from(["streaming", "branchy", "matrix"]),
+                                  _kernel_params), min_size=1, max_size=5),
+       seed=st.integers(min_value=0, max_value=(1 << 31) - 1),
+       interval=st.integers(min_value=0, max_value=10_000),
+       silent=st.booleans(),
+       registers=st.sampled_from([16, 32]))
+@settings(max_examples=50, deadline=None)
+def test_workload_spec_serialization_round_trips(name, suite, kernels, seed,
+                                                 interval, silent, registers):
+    spec = WorkloadSpec(name=name, suite=suite, kernels=kernels, seed=seed,
+                        external_write_interval=interval,
+                        external_writes_silent=silent, num_registers=registers,
+                        metadata={"origin": "property-test"})
+    rebuilt = WorkloadSpec.from_dict(_json_round_trip(spec.to_dict()))
+    assert rebuilt == spec
+    assert all(isinstance(recipe, tuple) for recipe in rebuilt.kernels)
+
+
+@st.composite
+def load_site_strategy(draw):
+    load_modes = [AddressingMode.PC_RELATIVE, AddressingMode.STACK_RELATIVE,
+                  AddressingMode.REG_RELATIVE]
+    site = LoadSiteStats(draw(_pcs), draw(st.sampled_from(load_modes)))
+    site.dynamic_count = draw(st.integers(min_value=0, max_value=1 << 20))
+    site.first_address = draw(st.one_of(st.none(), _addresses))
+    site.first_value = draw(st.one_of(st.none(), _values))
+    site.stable = draw(st.booleans())
+    site.last_seq = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=1 << 30)))
+    for label in site.distance_buckets:
+        site.distance_buckets[label] = draw(st.integers(min_value=0, max_value=1 << 20))
+    site.distinct_addresses = set(draw(st.lists(_addresses, max_size=8)))
+    return site
+
+
+@given(sites=st.lists(load_site_strategy(), max_size=6, unique_by=lambda s: s.pc),
+       total=st.integers(min_value=0, max_value=1 << 30))
+@settings(max_examples=50, deadline=None)
+def test_global_stable_report_serialization_round_trips(sites, total):
+    report = GlobalStableReport({site.pc: site for site in sites}, total)
+    rebuilt = GlobalStableReport.from_dict(_json_round_trip(report.to_dict()))
+    assert rebuilt.to_dict() == report.to_dict()
+    assert rebuilt.summary() == report.summary()
+    assert rebuilt.global_stable_pcs() == report.global_stable_pcs()
 
 
 @given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=10_000))

@@ -1,0 +1,161 @@
+"""Tests for the content-addressed on-disk result cache.
+
+Covers the cold/warm protocol (cold run populates the store, warm run returns
+equal results with zero simulations), key invalidation on configuration and
+schema changes, corruption tolerance, and cache sharing between the serial and
+parallel runner flavours.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cache import ResultCache, config_fingerprint
+from repro.experiments.configs import baseline_config, constable_config
+from repro.experiments.parallel import ParallelExperimentRunner
+from repro.experiments.runner import ExperimentRunner
+from repro.pipeline.cpu import OutOfOrderCore
+from repro.workloads.suites import workload_specs_for_suite
+
+SUITES = ("Client", "Server")
+INSTRUCTIONS = 1200
+
+
+def _make_runner(cache: ResultCache) -> ExperimentRunner:
+    return ExperimentRunner(per_suite=1, instructions=INSTRUCTIONS,
+                            suites=SUITES, cache=cache)
+
+
+@pytest.fixture()
+def simulation_counter(monkeypatch):
+    """Counts OutOfOrderCore.run invocations in this process."""
+    calls = {"count": 0}
+    original = OutOfOrderCore.run
+
+    def counted(self):
+        calls["count"] += 1
+        return original(self)
+
+    monkeypatch.setattr(OutOfOrderCore, "run", counted)
+    return calls
+
+
+def test_cold_run_populates_store_warm_run_simulates_nothing(tmp_path, simulation_counter):
+    cold = _make_runner(ResultCache(tmp_path))
+    cold_results = cold.run_config("baseline", baseline_config())
+    expected_jobs = len(cold.workloads())
+    assert simulation_counter["count"] == expected_jobs
+    assert cold.cache.stats.stores == expected_jobs
+    assert len(cold.cache) == expected_jobs
+
+    warm = _make_runner(ResultCache(tmp_path))
+    warm_results = warm.run_config("baseline", baseline_config())
+    assert simulation_counter["count"] == expected_jobs, "warm run must not simulate"
+    assert warm.cache.stats.hits == expected_jobs
+    assert warm.cache.stats.misses == 0
+    assert set(warm_results) == set(cold_results)
+    for workload in cold_results:
+        assert warm_results[workload] == cold_results[workload]
+
+
+def test_runner_memory_cache_short_circuits_disk(tmp_path, simulation_counter):
+    runner = _make_runner(ResultCache(tmp_path))
+    first = runner.run_config("baseline", baseline_config())
+    hits_after_cold = runner.cache.stats.hits
+    second = runner.run_config("baseline", baseline_config())
+    # Second call is served from WorkloadRun.results: no new sims, no new disk hits.
+    assert simulation_counter["count"] == len(runner.workloads())
+    assert runner.cache.stats.hits == hits_after_cold
+    for workload in first:
+        assert second[workload] is first[workload]
+
+
+def test_config_field_change_invalidates_key(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = workload_specs_for_suite("Client")[0]
+    base_key = cache.key_for(baseline_config(), spec, INSTRUCTIONS, 16)
+    assert cache.key_for(baseline_config(), spec, INSTRUCTIONS, 16) == base_key
+    changed = {
+        "fetch_width": baseline_config(fetch_width=7),
+        "flush_penalty": baseline_config(flush_penalty=11),
+        "lvp": baseline_config(lvp="eves"),
+        "constable": constable_config(),
+        "memory_renaming": baseline_config(enable_memory_renaming=False),
+    }
+    keys = {name: cache.key_for(config, spec, INSTRUCTIONS, 16)
+            for name, config in changed.items()}
+    assert base_key not in keys.values()
+    assert len(set(keys.values())) == len(keys), "every field change yields a distinct key"
+    # Trace parameters and the workload itself are part of the key too.
+    assert cache.key_for(baseline_config(), spec, INSTRUCTIONS + 1, 16) != base_key
+    assert cache.key_for(baseline_config(), spec, INSTRUCTIONS, 32) != base_key
+    other_spec = workload_specs_for_suite("Server")[0]
+    assert cache.key_for(baseline_config(), other_spec, INSTRUCTIONS, 16) != base_key
+
+
+def test_schema_version_invalidates_key_and_entry(tmp_path, simulation_counter):
+    cold = _make_runner(ResultCache(tmp_path, schema_version=1))
+    cold.run_config("baseline", baseline_config())
+    sims_after_cold = simulation_counter["count"]
+
+    spec = cold.workloads()[next(iter(cold.workloads()))].spec
+    key_v1 = ResultCache(tmp_path, schema_version=1).key_for(
+        baseline_config(), spec, INSTRUCTIONS, 16)
+    key_v2 = ResultCache(tmp_path, schema_version=2).key_for(
+        baseline_config(), spec, INSTRUCTIONS, 16)
+    assert key_v1 != key_v2
+
+    bumped = _make_runner(ResultCache(tmp_path, schema_version=2))
+    bumped.run_config("baseline", baseline_config())
+    assert simulation_counter["count"] == sims_after_cold + len(bumped.workloads()), \
+        "a schema bump must invalidate every prior entry"
+
+
+def test_corrupt_entry_is_a_miss_and_gets_rewritten(tmp_path, simulation_counter):
+    cache = ResultCache(tmp_path)
+    runner = _make_runner(cache)
+    runner.run_config("baseline", baseline_config())
+    sims = simulation_counter["count"]
+
+    entry = next(cache.directory.glob("*/*.json"))
+    entry.write_text("{not json", encoding="utf-8")
+
+    warm = _make_runner(ResultCache(tmp_path))
+    warm.run_config("baseline", baseline_config())
+    assert simulation_counter["count"] == sims + 1, "only the corrupt entry re-simulates"
+    assert json.loads(entry.read_text(encoding="utf-8"))["schema"] == cache.schema_version
+
+
+def test_parallel_runner_shares_cache_with_serial(tmp_path, simulation_counter):
+    with ParallelExperimentRunner(per_suite=1, instructions=INSTRUCTIONS,
+                                  suites=SUITES, max_workers=2,
+                                  cache=ResultCache(tmp_path)) as cold:
+        cold_results = cold.run_config("baseline", baseline_config())
+        assert cold.cache.stats.stores == len(cold_results)
+
+    warm = _make_runner(ResultCache(tmp_path))
+    warm_results = warm.run_config("baseline", baseline_config())
+    assert simulation_counter["count"] == 0, "parent process never simulated"
+    for workload in cold_results:
+        assert warm_results[workload] == cold_results[workload]
+
+
+def test_fingerprint_is_insertion_order_independent():
+    config_a = baseline_config(stats_oracle_pcs={1, 2, 3})
+    config_b = baseline_config(stats_oracle_pcs={3, 2, 1})
+    assert config_fingerprint(config_a) == config_fingerprint(config_b)
+
+
+def test_cache_clear_removes_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    runner = _make_runner(cache)
+    runner.run_config("baseline", baseline_config())
+    assert len(cache) > 0
+    removed = cache.clear()
+    assert removed > 0
+    assert len(cache) == 0
+    assert cache.get(cache.key_for(baseline_config(),
+                                   workload_specs_for_suite("Client")[0],
+                                   INSTRUCTIONS, 16)) is None
