@@ -10,15 +10,19 @@ once.  Pass a larger runner (``ExperimentRunner(per_suite=None, ...)``) through
 Two environment variables opt the whole benchmark session into the scaled-out
 execution layer:
 
-* ``REPRO_BENCH_WORKERS=N`` (N > 1) shards simulations over an N-process
+* ``REPRO_BENCH_WORKERS=N`` (N > 1) shards cold-start trace generation and
+  simulations — single-thread and SMT pairs alike — over an N-process
   :class:`~repro.experiments.parallel.ParallelExperimentRunner` pool.
-* ``REPRO_BENCH_CACHE=<dir>`` attaches a shared on-disk
-  :class:`~repro.experiments.cache.ResultCache` at ``<dir>``, so repeated
-  benchmark runs (and any other harness pointed at the same directory) reuse
-  simulation results instead of recomputing them.  Cache keys cover the full
-  core configuration, workload spec, trace parameters and a schema version,
-  so stale hits across code changes are prevented by bumping
-  :data:`repro.experiments.cache.SCHEMA_VERSION`.
+* ``REPRO_BENCH_CACHE=<dir>`` attaches a shared on-disk cache directory: a
+  :class:`~repro.experiments.cache.ResultCache` (single-thread and SMT
+  entries) plus a :class:`~repro.experiments.cache.ReportCache` for Load
+  Inspector reports, so repeated benchmark runs (and any other harness
+  pointed at the same directory) reuse simulation results and inspector
+  reports instead of recomputing them.  Cache keys cover the full core
+  configuration, workload spec, trace parameters and a schema version, so
+  stale hits across code changes are prevented by bumping
+  :data:`repro.experiments.cache.SCHEMA_VERSION`.  Set
+  ``REPRO_CACHE_MAX_MB`` to cap the directory's size (LRU eviction).
 """
 
 from __future__ import annotations

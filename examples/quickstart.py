@@ -70,8 +70,12 @@ def sweep_demo(runner: ExperimentRunner) -> None:
         print(f"  {suite:<10} constable speedup {value:.3f}x")
     if runner.cache is not None:
         stats = runner.cache.stats.as_dict()
-        print(f"  cache: {stats['hits']} hits, {stats['misses']} misses, "
+        print(f"  result cache: {stats['hits']} hits, {stats['misses']} misses, "
               f"{stats['stores']} stores ({runner.cache.directory})")
+    if runner.report_cache is not None:
+        stats = runner.report_cache.stats.as_dict()
+        print(f"  report cache: {stats['hits']} hits, {stats['misses']} misses, "
+              f"{stats['stores']} stores")
 
 
 def main() -> None:

@@ -11,17 +11,24 @@ from repro.experiments.configs import (
     constable_engine_config,
     named_configs,
 )
-from repro.experiments.cache import ResultCache, SCHEMA_VERSION, config_fingerprint
-from repro.experiments.runner import ExperimentRunner, SimulationJob, WorkloadRun
+from repro.experiments.cache import (
+    ReportCache,
+    ResultCache,
+    SCHEMA_VERSION,
+    config_fingerprint,
+)
+from repro.experiments.runner import ExperimentRunner, SimulationJob, SmtJob, WorkloadRun
 from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments import figures
 from repro.experiments.reporting import format_table, format_percent
 
 __all__ = [
+    "ReportCache",
     "ResultCache",
     "SCHEMA_VERSION",
     "config_fingerprint",
     "SimulationJob",
+    "SmtJob",
     "ParallelExperimentRunner",
     "EXPERIMENT_CONFIDENCE_THRESHOLD",
     "baseline_config",

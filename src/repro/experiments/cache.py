@@ -1,22 +1,41 @@
-"""Content-addressed on-disk cache for simulation results.
+"""Content-addressed on-disk caches for simulation results and inspector reports.
 
 A cache entry is keyed by a SHA-256 fingerprint of everything that determines
-a simulation's outcome: the fully materialised :class:`CoreConfig`, the
+its content: the fully materialised :class:`CoreConfig` (for simulations), the
 :class:`WorkloadSpec`, the trace-generation parameters (instruction budget,
 architectural register count, base PC) and a schema version.  Workload traces
 are regenerated deterministically from the spec's seed, so the trace itself
 never needs to be stored — two runs that fingerprint identically simulate
 identically.
 
+Three entry kinds share one store format and directory layout:
+
+* single-thread :class:`SimulationResult` records (:meth:`ResultCache.get` /
+  :meth:`ResultCache.put`),
+* SMT pair :class:`~repro.pipeline.smt.SmtResult` records
+  (:meth:`ResultCache.get_smt` / :meth:`ResultCache.put_smt`), keyed over both
+  workload specs and the second thread's base PC, and
+* Load Inspector :class:`~repro.analysis.load_inspector.GlobalStableReport`
+  records (:class:`ReportCache`), keyed over the workload spec and trace
+  parameters alone — reports depend only on the trace, never on a core config.
+
 Bumping :data:`SCHEMA_VERSION` invalidates every existing entry; bump it
-whenever the timing model or the :class:`SimulationResult` layout changes in a
-way that makes old results incomparable.
+whenever the timing model or a persisted record's layout changes in a way that
+makes old entries incomparable.
 
 The cache directory defaults to ``.repro-cache`` in the working directory and
 can be redirected with the ``REPRO_CACHE_DIR`` environment variable.  Entries
 are plain JSON files laid out as ``<dir>/<key[:2]>/<key>.json`` with atomic
 (write-to-temp, rename) stores, so a cache directory may safely be shared by
-several concurrent figure harnesses.
+several concurrent figure harnesses — and by result and report caches at once,
+which also makes the size cap below a property of the directory, not of any
+one cache instance.
+
+**Size cap / GC.**  Setting ``REPRO_CACHE_MAX_MB`` (or passing ``max_mb``)
+arms an LRU-by-mtime garbage collector: after every store the cache evicts the
+least-recently-used entries until the directory fits under the cap.  Cache
+hits refresh an entry's mtime, so hot entries survive; a GC pass never touches
+anything while the directory is already within the cap.
 """
 
 from __future__ import annotations
@@ -28,17 +47,23 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.analysis.load_inspector import GlobalStableReport
 from repro.pipeline.config import CoreConfig
+from repro.pipeline.smt import SMT_SECOND_THREAD_BASE_PC, SmtResult
 from repro.pipeline.stats import SimulationResult
+from repro.workloads.generator import DEFAULT_BASE_PC
 from repro.workloads.suites import WorkloadSpec
 
-#: Version of the cached-result schema; bump to invalidate all prior entries.
+#: Version of the cached-entry schema; bump to invalidate all prior entries.
 SCHEMA_VERSION = 1
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable arming the LRU size cap (in megabytes).
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
 
 #: Default cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -81,77 +106,99 @@ def config_fingerprint(config: CoreConfig) -> Dict[str, object]:
 
 
 class CacheStats:
-    """Hit/miss/store counters for one :class:`ResultCache`."""
+    """Hit/miss/store/eviction counters for one cache instance."""
 
     def __init__(self):
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
 
     def as_dict(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "evictions": self.evictions}
 
 
-class ResultCache:
-    """Content-addressed, JSON-backed store of :class:`SimulationResult`."""
+class JsonDiskCache:
+    """Shared store machinery: keyed JSON files, atomic writes, LRU size cap.
+
+    Subclasses provide the domain types (what a payload contains and how keys
+    are derived); this base owns the directory layout, schema validation,
+    hit/miss accounting, mtime-based recency and the GC policy.
+    """
 
     def __init__(self, directory: Optional[Union[str, Path]] = None,
-                 schema_version: int = SCHEMA_VERSION):
+                 schema_version: int = SCHEMA_VERSION,
+                 max_mb: Optional[float] = None):
         if directory is None:
             directory = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
         self.directory = Path(directory)
         # Fail fast rather than after the first (expensive) simulation's put().
         if self.directory.exists() and not self.directory.is_dir():
             raise NotADirectoryError(
-                f"result cache path {self.directory} exists and is not a directory")
+                f"cache path {self.directory} exists and is not a directory")
         self.schema_version = schema_version
+        if max_mb is None:
+            raw = os.environ.get(CACHE_MAX_MB_ENV, "").strip()
+            max_mb = float(raw) if raw else None
+        if max_mb is not None and max_mb <= 0:
+            raise ValueError("max_mb must be positive")
+        self.max_mb = max_mb
         self.stats = CacheStats()
+        # Running directory-size estimate for the auto-GC: initialised by one
+        # full scan on the first capped store, then maintained incrementally
+        # so puts stay O(1) while the directory is under the cap.  A GC pass
+        # rescans and resyncs it, which also absorbs other processes' writes.
+        self._size_estimate: Optional[int] = None
 
-    # --------------------------------------------------------------------- keys
-
-    def key_for(self, config: CoreConfig, spec: WorkloadSpec,
-                instructions: int, num_registers: int,
-                base_pc: int = 0x400000) -> str:
-        """The content hash identifying one (config, workload, trace) job."""
-        payload = {
-            "schema": self.schema_version,
-            "config": config_fingerprint(config),
-            "workload": spec.to_dict(),
-            "trace": {
-                "instructions": instructions,
-                "num_registers": num_registers,
-                "base_pc": base_pc,
-            },
-        }
-        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    # ------------------------------------------------------------------- layout
 
     def _path_for(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.json"
 
-    # ------------------------------------------------------------------ get/put
+    def _digest(self, payload: Dict[str, object]) -> str:
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
-    def get(self, key: str) -> Optional[SimulationResult]:
-        """The cached result for ``key``, or None (corrupt entries are misses)."""
+    # ------------------------------------------------------------------ raw i/o
+
+    def _read_payload(self, key: str, kind: Optional[str] = None) -> Optional[Dict[str, object]]:
+        """Load and validate one entry envelope; corrupt entries are misses.
+
+        Recency is *not* refreshed here: callers decode the record body first
+        and call :meth:`_mark_hit` only when the whole entry proved usable, so
+        a permanently undecodable entry ages out through the LRU GC instead of
+        being promoted to most-recently-used on every failed read.
+        """
         path = self._path_for(key)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 payload = json.load(handle)
             if payload.get("schema") != self.schema_version:
                 raise ValueError("schema mismatch")
-            result = SimulationResult.from_dict(payload["result"])
+            if kind is not None and payload.get("kind") != kind:
+                raise ValueError("entry kind mismatch")
         except (OSError, ValueError, KeyError, TypeError):
             self.stats.misses += 1
             return None
-        self.stats.hits += 1
-        return result
+        return payload
 
-    def put(self, key: str, result: SimulationResult) -> None:
-        """Store ``result`` under ``key`` atomically (temp file + rename)."""
+    def _mark_hit(self, key: str) -> None:
+        """Count a hit and refresh the entry's mtime so the LRU GC keeps it."""
+        try:
+            os.utime(self._path_for(key), None)
+        except OSError:
+            pass
+        self.stats.hits += 1
+
+    def _write_payload(self, key: str, payload: Dict[str, object]) -> None:
+        """Store ``payload`` under ``key`` atomically (temp file + rename)."""
         path = self._path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"schema": self.schema_version, "key": key,
-                   "result": result.to_dict()}
+        try:
+            replaced_size = path.stat().st_size
+        except OSError:
+            replaced_size = 0
         handle = tempfile.NamedTemporaryFile(
             "w", encoding="utf-8", dir=path.parent,
             prefix=f".{key[:8]}.", suffix=".tmp", delete=False)
@@ -166,8 +213,69 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        if self.max_mb is not None:
+            if self._size_estimate is None:
+                self._size_estimate = self.total_bytes()
+            else:
+                try:
+                    self._size_estimate += path.stat().st_size - replaced_size
+                except OSError:
+                    pass
+            if self._size_estimate > int(self.max_mb * 1024 * 1024):
+                self.gc()
 
     # --------------------------------------------------------------- management
+
+    def entries(self) -> List[Tuple[Path, float, int]]:
+        """Every entry as ``(path, mtime, size_bytes)``, least recent first.
+
+        Ties on mtime break on the path so GC eviction order is deterministic.
+        """
+        found: List[Tuple[Path, float, int]] = []
+        if not self.directory.is_dir():
+            return found
+        for path in self.directory.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            found.append((path, stat.st_mtime, stat.st_size))
+        found.sort(key=lambda entry: (entry[1], str(entry[0])))
+        return found
+
+    def total_bytes(self) -> int:
+        """Total on-disk size of every entry in the directory."""
+        return sum(size for _, _, size in self.entries())
+
+    def gc(self, max_mb: Optional[float] = None) -> List[Path]:
+        """Evict least-recently-used entries until the directory fits the cap.
+
+        Returns the evicted paths (empty when the directory is already within
+        the cap, or when no cap is configured).  The cap applies to the whole
+        directory, so result and report caches sharing one directory share one
+        budget.
+        """
+        cap_mb = max_mb if max_mb is not None else self.max_mb
+        if cap_mb is None:
+            return []
+        if cap_mb <= 0:
+            raise ValueError("max_mb must be positive")
+        cap_bytes = int(cap_mb * 1024 * 1024)
+        entries = self.entries()
+        total = sum(size for _, _, size in entries)
+        removed: List[Path] = []
+        for path, _, size in entries:
+            if total <= cap_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed.append(path)
+            self.stats.evictions += 1
+        self._size_estimate = total
+        return removed
 
     def __len__(self) -> int:
         """Number of entries currently on disk."""
@@ -178,6 +286,7 @@ class ResultCache:
     def clear(self) -> int:
         """Delete every entry; returns the number of files removed."""
         removed = 0
+        self._size_estimate = None
         if not self.directory.is_dir():
             return removed
         for path in self.directory.glob("*/*.json"):
@@ -187,3 +296,125 @@ class ResultCache:
             except OSError:
                 pass
         return removed
+
+
+class ResultCache(JsonDiskCache):
+    """Content-addressed store of :class:`SimulationResult` / :class:`SmtResult`."""
+
+    # ------------------------------------------------------- single-thread keys
+
+    def key_for(self, config: CoreConfig, spec: WorkloadSpec,
+                instructions: int, num_registers: int,
+                base_pc: int = DEFAULT_BASE_PC) -> str:
+        """The content hash identifying one (config, workload, trace) job."""
+        payload = {
+            "schema": self.schema_version,
+            "config": config_fingerprint(config),
+            "workload": spec.to_dict(),
+            "trace": {
+                "instructions": instructions,
+                "num_registers": num_registers,
+                "base_pc": base_pc,
+            },
+        }
+        return self._digest(payload)
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for ``key``, or None (corrupt entries are misses)."""
+        payload = self._read_payload(key)
+        if payload is None:
+            return None
+        try:
+            result = SimulationResult.from_dict(payload["result"])
+        except (ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self._mark_hit(key)
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store ``result`` under ``key`` atomically (temp file + rename)."""
+        self._write_payload(key, {"schema": self.schema_version, "key": key,
+                                  "result": result.to_dict()})
+
+    # ----------------------------------------------------------------- SMT keys
+
+    def key_for_smt(self, config: CoreConfig, first: WorkloadSpec,
+                    second: WorkloadSpec, instructions: int, num_registers: int,
+                    first_base_pc: int = DEFAULT_BASE_PC,
+                    second_base_pc: int = SMT_SECOND_THREAD_BASE_PC) -> str:
+        """The content hash identifying one SMT2 (config, pair, trace) job."""
+        payload = {
+            "schema": self.schema_version,
+            "kind": "smt",
+            "config": config_fingerprint(config),
+            "workloads": [first.to_dict(), second.to_dict()],
+            "trace": {
+                "instructions": instructions,
+                "num_registers": num_registers,
+                "base_pcs": [first_base_pc, second_base_pc],
+            },
+        }
+        return self._digest(payload)
+
+    def get_smt(self, key: str) -> Optional[SmtResult]:
+        """The cached SMT result for ``key``, or None."""
+        payload = self._read_payload(key, kind="smt")
+        if payload is None:
+            return None
+        try:
+            result = SmtResult.from_dict(payload["result"])
+        except (ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self._mark_hit(key)
+        return result
+
+    def put_smt(self, key: str, result: SmtResult) -> None:
+        """Store an :class:`SmtResult` under ``key`` atomically."""
+        self._write_payload(key, {"schema": self.schema_version, "kind": "smt",
+                                  "key": key, "result": result.to_dict()})
+
+
+class ReportCache(JsonDiskCache):
+    """Content-addressed store of Load Inspector :class:`GlobalStableReport`.
+
+    Keys cover only what determines a report — the workload spec and the trace
+    parameters — so every configuration sweep over a workload shares one report
+    entry.  A report cache may share its directory with a :class:`ResultCache`:
+    keys embed an entry kind, so the two namespaces cannot collide, and the LRU
+    size cap then covers both.
+    """
+
+    def key_for(self, spec: WorkloadSpec, instructions: int, num_registers: int,
+                base_pc: int = DEFAULT_BASE_PC) -> str:
+        """The content hash identifying one workload's inspector report."""
+        payload = {
+            "schema": self.schema_version,
+            "kind": "report",
+            "workload": spec.to_dict(),
+            "trace": {
+                "instructions": instructions,
+                "num_registers": num_registers,
+                "base_pc": base_pc,
+            },
+        }
+        return self._digest(payload)
+
+    def get(self, key: str) -> Optional[GlobalStableReport]:
+        """The cached report for ``key``, or None (corrupt entries are misses)."""
+        payload = self._read_payload(key, kind="report")
+        if payload is None:
+            return None
+        try:
+            report = GlobalStableReport.from_dict(payload["report"])
+        except (ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self._mark_hit(key)
+        return report
+
+    def put(self, key: str, report: GlobalStableReport) -> None:
+        """Store ``report`` under ``key`` atomically."""
+        self._write_payload(key, {"schema": self.schema_version, "kind": "report",
+                                  "key": key, "report": report.to_dict()})

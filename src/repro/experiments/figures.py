@@ -32,7 +32,7 @@ from repro.experiments.configs import (
     rfp_config,
     rfp_constable_config,
 )
-from repro.experiments.cache import ResultCache
+from repro.experiments.cache import ReportCache, ResultCache
 from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.reporting import format_table, per_suite_table
 from repro.experiments.runner import ExperimentRunner
@@ -50,15 +50,21 @@ def default_runner(per_suite: int = 2, instructions: int = 6000,
     """The reduced workload set used by the benchmark harnesses.
 
     Every figure harness accepts either runner flavour: pass ``workers > 1``
-    for a :class:`ParallelExperimentRunner` that shards simulations over a
-    process pool, and/or ``cache_dir`` to share an on-disk result cache with
-    other harnesses and reruns.
+    for a :class:`ParallelExperimentRunner` that shards trace generation and
+    simulations (single-thread and SMT) over a process pool, and/or
+    ``cache_dir`` to share an on-disk cache directory with other harnesses and
+    reruns.  The directory holds both the result cache (single-thread + SMT
+    entries) and the Load Inspector report cache, so a warm rerun of any
+    figure harness performs zero simulations and zero inspection passes.
     """
     cache = ResultCache(cache_dir) if cache_dir is not None else None
+    report_cache = ReportCache(cache_dir) if cache_dir is not None else None
     if workers is not None and workers > 1:
         return ParallelExperimentRunner(per_suite=per_suite, instructions=instructions,
-                                        cache=cache, max_workers=workers)
-    return ExperimentRunner(per_suite=per_suite, instructions=instructions, cache=cache)
+                                        cache=cache, report_cache=report_cache,
+                                        max_workers=workers)
+    return ExperimentRunner(per_suite=per_suite, instructions=instructions,
+                            cache=cache, report_cache=report_cache)
 
 
 def _ideal_builder(mode: IdealMode, lvp: Optional[str] = None):

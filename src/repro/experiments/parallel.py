@@ -1,59 +1,72 @@
 """Parallel, sharded experiment execution over a process pool.
 
 :class:`ParallelExperimentRunner` reuses the whole planning/aggregation core of
-:class:`~repro.experiments.runner.ExperimentRunner` and overrides only the
-``_execute_jobs`` hook: outstanding (workload, configuration) jobs are sharded
-across ``max_workers`` OS processes via :class:`concurrent.futures.ProcessPoolExecutor`.
+:class:`~repro.experiments.runner.ExperimentRunner` and overrides only its
+execution hooks:
+
+* ``_execute_jobs`` — outstanding (workload, configuration) simulations are
+  sharded across ``max_workers`` OS processes,
+* ``_execute_smt_jobs`` — SMT2 pair simulations shard the same way; workers
+  regenerate both threads' traces (the second at its distinct base PC),
+* ``_generate_workloads`` — cold-start trace synthesis plus Load Inspector
+  analysis shards across the pool too, so even the first run of a sweep
+  scales with the core count.
 
 Determinism guarantees (enforced by ``tests/test_parallel_determinism.py``):
 
-* **Per-shard seeding.**  Workers never receive pickled traces; each worker
-  regenerates the trace it needs from the :class:`WorkloadSpec`'s embedded
-  seed, which drives every RNG in the generation pipeline.  A workload's trace
-  is therefore bit-identical in every worker and to the parent's copy,
-  regardless of how jobs land on shards.
-* **Order-independent merge.**  Results are merged into a dictionary keyed by
-  workload name as futures complete; since each workload appears in at most
-  one job per configuration, completion order cannot change the merged value,
+* **Per-spec seeding.**  Trace generation is a pure function of the
+  :class:`WorkloadSpec` (whose embedded seed drives every RNG in the pipeline),
+  the instruction budget, the register count and the base PC.  A workload's
+  trace is therefore bit-identical in every worker and to the parent's copy,
+  regardless of worker count or how jobs land on shards.
+* **Order-independent merge.**  Results are merged into dictionaries keyed by
+  workload name (or SMT pair) as futures complete; since each key appears in
+  at most one job per sweep, completion order cannot change the merged value,
   and downstream aggregation (speedups, geomeans) iterates over the runner's
   workload order, never shard order.
-* **Deterministic sharding.**  Jobs are submitted in sorted workload order so
-  a fixed worker count also yields a reproducible shard assignment.
+* **Deterministic sharding.**  Jobs are submitted in sorted key order so a
+  fixed worker count also yields a reproducible shard assignment.
 
 Worker processes memoise regenerated traces keyed by (workload, instruction
-budget, register count), so a sweep running many configurations over the same
-workloads pays trace regeneration once per worker, not once per job.
+budget, register count, base PC), so a sweep running many configurations over
+the same workloads pays trace regeneration once per worker, not once per job —
+and a worker that generated a trace during the cold start reuses it for every
+simulation job it later receives.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from typing import Dict, Optional, Sequence, Tuple
+from concurrent.futures import FIRST_EXCEPTION, Future, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.cache import ResultCache
-from repro.experiments.runner import ExperimentRunner, SimulationJob
+from repro.analysis.load_inspector import GlobalStableReport, inspect_trace
+from repro.experiments.cache import ReportCache, ResultCache
+from repro.experiments.runner import ExperimentRunner, SimulationJob, SmtJob, WorkloadRun
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.cpu import OutOfOrderCore
+from repro.pipeline.smt import SmtResult, simulate_smt_pair
 from repro.pipeline.stats import SimulationResult
-from repro.workloads.generator import generate_trace
+from repro.workloads.generator import DEFAULT_BASE_PC, generate_trace
 from repro.workloads.suites import SUITE_NAMES, WorkloadSpec
 from repro.workloads.trace import Trace
 
-#: Per-worker memo of regenerated traces: (workload, instructions, registers) -> Trace.
-_WORKER_TRACES: Dict[Tuple[str, int, int], Trace] = {}
+#: Per-worker memo of regenerated traces:
+#: (workload, instructions, registers, base_pc) -> Trace.
+_WORKER_TRACES: Dict[Tuple[str, int, int, int], Trace] = {}
 
 
 def _regenerate_trace(spec_dict: Dict[str, object], instructions: int,
-                      num_registers: int) -> Trace:
+                      num_registers: int,
+                      base_pc: int = DEFAULT_BASE_PC) -> Trace:
     """Deterministically rebuild (and memoise) a workload trace in this worker."""
-    key = (str(spec_dict["name"]), instructions, num_registers)
+    key = (str(spec_dict["name"]), instructions, num_registers, base_pc)
     trace = _WORKER_TRACES.get(key)
     if trace is None:
         spec = WorkloadSpec.from_dict(spec_dict)
         trace = generate_trace(spec, num_instructions=instructions,
-                               num_registers=num_registers)
+                               num_registers=num_registers, base_pc=base_pc)
         _WORKER_TRACES[key] = trace
     return trace
 
@@ -70,6 +83,38 @@ def simulate_job_payload(payload: Tuple[str, Dict[str, object], int, int, CoreCo
     return str(spec_dict["name"]), core.run()
 
 
+def simulate_smt_job_payload(
+        payload: Tuple[str, Dict[str, object], Dict[str, object], int, int, int, CoreConfig]
+) -> Tuple[Tuple[str, str], SmtResult]:
+    """Worker entry point for one SMT2 pair: regenerate both traces, simulate.
+
+    The second thread's trace is regenerated at its own base PC (and memoised
+    under that PC), exactly matching the serial executor's behaviour.
+    """
+    (config_name, first_dict, second_dict, instructions, num_registers,
+     second_base_pc, config) = payload
+    first_trace = _regenerate_trace(first_dict, instructions, num_registers)
+    second_trace = _regenerate_trace(second_dict, instructions, num_registers,
+                                     base_pc=second_base_pc)
+    result = simulate_smt_pair(first_trace, second_trace, config, name=config_name)
+    return (str(first_dict["name"]), str(second_dict["name"])), result
+
+
+def generate_workload_payload(payload: Tuple[Dict[str, object], int, int, bool]
+                              ) -> Tuple[str, Trace, Optional[GlobalStableReport]]:
+    """Worker entry point for cold-start generation: build a trace (+ report).
+
+    ``need_report`` is False when the parent already holds a cached Load
+    Inspector report for the workload; the worker then skips the inspection
+    pass and ships only the trace.  The generated trace lands in the worker's
+    memo, so simulation jobs later dispatched to this worker reuse it.
+    """
+    spec_dict, instructions, num_registers, need_report = payload
+    trace = _regenerate_trace(spec_dict, instructions, num_registers)
+    report = inspect_trace(trace) if need_report else None
+    return str(spec_dict["name"]), trace, report
+
+
 def _default_start_method() -> str:
     """Prefer fork (cheap, shares the imported simulator) where available."""
     methods = multiprocessing.get_all_start_methods()
@@ -77,13 +122,13 @@ def _default_start_method() -> str:
 
 
 class ParallelExperimentRunner(ExperimentRunner):
-    """Shards outstanding simulation jobs across a pool of worker processes.
+    """Shards trace generation and simulation jobs across worker processes.
 
-    Everything else — workload generation, result caching, speedup/geomean
-    aggregation, the on-disk :class:`ResultCache` protocol — is inherited from
-    the serial runner, so the two are drop-in interchangeable anywhere an
-    :class:`ExperimentRunner` is accepted (figure harnesses, benchmarks,
-    examples).
+    Everything else — planning, result caching, speedup/geomean aggregation,
+    the on-disk :class:`ResultCache`/:class:`ReportCache` protocols — is
+    inherited from the serial runner, so the two are drop-in interchangeable
+    anywhere an :class:`ExperimentRunner` is accepted (figure harnesses,
+    benchmarks, examples).
     """
 
     def __init__(self, per_suite: Optional[int] = 2, instructions: int = 6000,
@@ -91,11 +136,13 @@ class ParallelExperimentRunner(ExperimentRunner):
                  suites: Sequence[str] = SUITE_NAMES,
                  attach_stats_oracle: bool = True,
                  cache: Optional[ResultCache] = None,
+                 report_cache: Optional[ReportCache] = None,
                  max_workers: Optional[int] = None,
                  start_method: Optional[str] = None):
         super().__init__(per_suite=per_suite, instructions=instructions,
                          num_registers=num_registers, suites=suites,
-                         attach_stats_oracle=attach_stats_oracle, cache=cache)
+                         attach_stats_oracle=attach_stats_oracle, cache=cache,
+                         report_cache=report_cache)
         if max_workers is None:
             max_workers = min(4, os.cpu_count() or 1)
         if max_workers <= 0:
@@ -120,6 +167,15 @@ class ParallelExperimentRunner(ExperimentRunner):
             self._pool.shutdown()
             self._pool = None
 
+    def _collect(self, futures: Sequence[Future]) -> List[object]:
+        """Await all futures; on the first failure cancel the rest and raise."""
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        try:
+            return [future.result() for future in done]
+        finally:
+            for future in not_done:
+                future.cancel()
+
     # ---------------------------------------------------------------- execution
 
     def _execute_jobs(self, jobs: Sequence[SimulationJob]) -> Dict[str, SimulationResult]:
@@ -133,13 +189,57 @@ class ParallelExperimentRunner(ExperimentRunner):
             payload = (job.config_name, job.run.spec.to_dict(),
                        self.instructions, self.num_registers, job.config)
             futures.append(pool.submit(simulate_job_payload, payload))
-        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-        try:
-            results: Dict[str, SimulationResult] = {}
-            for future in done:
-                workload, result = future.result()
-                results[workload] = result
-            return results
-        finally:
-            for future in not_done:
-                future.cancel()
+        return dict(self._collect(futures))
+
+    def _execute_smt_jobs(self, jobs: Sequence[SmtJob]
+                          ) -> Dict[Tuple[str, str], SmtResult]:
+        """Shard SMT pair simulations across the pool, merged keyed by pair."""
+        if len(jobs) <= 1 or self.max_workers == 1:
+            return super()._execute_smt_jobs(jobs)
+        ordered = sorted(jobs, key=lambda job: job.pair)
+        pool = self._executor()
+        futures = []
+        for job in ordered:
+            payload = (job.config_name, job.run.spec.to_dict(),
+                       job.second_spec.to_dict(), self.instructions,
+                       self.num_registers, job.second_base_pc, job.config)
+            futures.append(pool.submit(simulate_smt_job_payload, payload))
+        return dict(self._collect(futures))
+
+    # --------------------------------------------------------------- generation
+
+    def _generate_workloads(self, specs: Sequence[WorkloadSpec]) -> Dict[str, WorkloadRun]:
+        """Shard cold-start trace generation (+ inspection) across the pool.
+
+        Load Inspector reports are looked up in the on-disk report cache from
+        the parent before dispatch, so workers only run the inspection pass
+        for workloads whose report is genuinely missing; fresh reports are
+        published back to the cache as shards complete.
+        """
+        if len(specs) <= 1 or self.max_workers == 1:
+            return super()._generate_workloads(specs)
+        specs_by_name = {spec.name: spec for spec in specs}
+        cached_reports: Dict[str, GlobalStableReport] = {}
+        for spec in specs:
+            key = self._report_cache_key(spec)
+            if key is not None:
+                report = self.report_cache.get(key)
+                if report is not None:
+                    cached_reports[spec.name] = report
+        pool = self._executor()
+        futures = []
+        for spec in sorted(specs, key=lambda spec: spec.name):
+            payload = (spec.to_dict(), self.instructions, self.num_registers,
+                       spec.name not in cached_reports)
+            futures.append(pool.submit(generate_workload_payload, payload))
+        runs: Dict[str, WorkloadRun] = {}
+        for name, trace, report in self._collect(futures):
+            if report is None:
+                report = cached_reports[name]
+            else:
+                key = self._report_cache_key(specs_by_name[name])
+                if key is not None:
+                    self.report_cache.put(key, report)
+            runs[name] = WorkloadRun(spec=specs_by_name[name], trace=trace,
+                                     report=report)
+        return runs

@@ -7,8 +7,9 @@ benchmarks use a reduced set (a few workloads per suite, a few thousand
 instructions) so the whole suite finishes in minutes, while the full
 90-workload sweep of the paper is available by passing ``per_suite=None``.
 
-The execution layer is split in two so serial and parallel runners share one
-job-planning/aggregation core:
+The execution layer is split so serial and parallel runners share one
+planning/aggregation core, with every expensive phase behind an overridable
+hook:
 
 * :meth:`ExperimentRunner.run_config` plans the outstanding
   :class:`SimulationJob` list (consulting the optional on-disk
@@ -17,12 +18,24 @@ job-planning/aggregation core:
   *atomically* — either every selected workload gets a result or none does,
   so a config factory raising mid-sweep can never leave a partially populated
   :class:`WorkloadRun` that later aggregation misreads as complete.
-* :meth:`ExperimentRunner._execute_jobs` simulates the planned jobs.  The base
-  class runs them serially in-process;
-  :class:`~repro.experiments.parallel.ParallelExperimentRunner` overrides just
-  this hook to shard the jobs over a process pool.  Results are merged into a
-  dictionary keyed by workload name, so shard completion order never affects
-  the aggregate.
+* :meth:`ExperimentRunner.run_smt_config` follows the same pipeline for the
+  paper's SMT2 pair sweeps: it plans :class:`SmtJob` records, consults the
+  result cache (SMT entries round-trip through
+  :meth:`~repro.pipeline.smt.SmtResult.to_dict`), executes the outstanding
+  jobs via the :meth:`ExperimentRunner._execute_smt_jobs` hook and commits the
+  per-pair results atomically into an in-memory store keyed by config name.
+* :meth:`ExperimentRunner.workloads` generates traces and Load Inspector
+  reports through the :meth:`ExperimentRunner._generate_workloads` hook, so
+  cold starts can shard trace synthesis too.  Reports are served from the
+  optional on-disk :class:`~repro.experiments.cache.ReportCache` when one is
+  attached; traces are always regenerated from the spec's seed, which keeps
+  them bit-identical at any worker count.
+
+The base class runs every hook serially in-process;
+:class:`~repro.experiments.parallel.ParallelExperimentRunner` overrides just
+the hooks to shard work over a process pool.  All hook results merge into
+dictionaries keyed by workload name (or pair), so shard completion order never
+affects an aggregate.
 """
 
 from __future__ import annotations
@@ -32,13 +45,18 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.load_inspector import GlobalStableReport, inspect_trace
 from repro.analysis.stats_utils import geomean
-from repro.experiments.cache import ResultCache
+from repro.experiments.cache import ReportCache, ResultCache
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.cpu import OutOfOrderCore
-from repro.pipeline.smt import SmtResult, simulate_smt_pair
+from repro.pipeline.smt import SMT_SECOND_THREAD_BASE_PC, SmtResult, simulate_smt_pair
 from repro.pipeline.stats import SimulationResult
 from repro.workloads.generator import generate_trace
-from repro.workloads.suites import SUITE_NAMES, WorkloadSpec, workload_specs_for_suite
+from repro.workloads.suites import (
+    SUITE_NAMES,
+    WorkloadSpec,
+    round_robin_specs,
+    workload_specs_for_suite,
+)
 from repro.workloads.trace import Trace
 
 #: A configuration may be a CoreConfig, a zero-argument factory, or a builder
@@ -77,6 +95,25 @@ class SimulationJob:
         return self.run.spec.name
 
 
+@dataclass
+class SmtJob:
+    """One planned SMT2 (workload pair, configuration) simulation.
+
+    The first thread's trace lives in ``run``; the second thread's trace is
+    *not* materialised here — executors regenerate it deterministically from
+    ``second_spec`` at ``second_base_pc``, exactly as single-thread executors
+    regenerate traces from ``run.spec``.
+    """
+
+    config_name: str
+    pair: Tuple[str, str]
+    run: WorkloadRun
+    second_spec: WorkloadSpec
+    config: CoreConfig
+    second_base_pc: int = SMT_SECOND_THREAD_BASE_PC
+    cache_key: Optional[str] = None
+
+
 class ExperimentRunner:
     """Runs named configurations over a (possibly reduced) workload set.
 
@@ -90,7 +127,8 @@ class ExperimentRunner:
                  num_registers: int = 16,
                  suites: Sequence[str] = SUITE_NAMES,
                  attach_stats_oracle: bool = True,
-                 cache: Optional[ResultCache] = None):
+                 cache: Optional[ResultCache] = None,
+                 report_cache: Optional[ReportCache] = None):
         if instructions <= 0:
             raise ValueError("instructions must be positive")
         self.per_suite = per_suite
@@ -99,7 +137,9 @@ class ExperimentRunner:
         self.suites = list(suites)
         self.attach_stats_oracle = attach_stats_oracle
         self.cache = cache
+        self.report_cache = report_cache
         self._workloads: Optional[Dict[str, WorkloadRun]] = None
+        self._smt_results: Dict[str, Dict[Tuple[str, str], SmtResult]] = {}
 
     # ---------------------------------------------------------------- workloads
 
@@ -114,15 +154,52 @@ class ExperimentRunner:
         return specs
 
     def workloads(self) -> Dict[str, WorkloadRun]:
-        """Generate (and cache) every workload trace and its Load Inspector report."""
+        """Generate (and cache) every workload trace and its Load Inspector report.
+
+        Generation happens through the overridable :meth:`_generate_workloads`
+        hook; the returned dictionary always follows spec order, never the
+        hook's completion order.
+        """
         if self._workloads is None:
-            self._workloads = {}
-            for spec in self.specs():
-                trace = generate_trace(spec, num_instructions=self.instructions,
-                                       num_registers=self.num_registers)
-                report = inspect_trace(trace)
-                self._workloads[spec.name] = WorkloadRun(spec=spec, trace=trace, report=report)
+            specs = self.specs()
+            generated = self._generate_workloads(specs)
+            missing = [spec.name for spec in specs if spec.name not in generated]
+            if missing:
+                raise RuntimeError(
+                    f"workload generator returned no run for {missing!r}")
+            self._workloads = {spec.name: generated[spec.name] for spec in specs}
         return self._workloads
+
+    def _report_cache_key(self, spec: WorkloadSpec) -> Optional[str]:
+        if self.report_cache is None:
+            return None
+        return self.report_cache.key_for(spec, self.instructions, self.num_registers)
+
+    def _report_for(self, spec: WorkloadSpec, trace: Trace) -> GlobalStableReport:
+        """The Load Inspector report for ``trace``, via the on-disk cache if any."""
+        key = self._report_cache_key(spec)
+        if key is not None:
+            cached = self.report_cache.get(key)
+            if cached is not None:
+                return cached
+        report = inspect_trace(trace)
+        if key is not None:
+            self.report_cache.put(key, report)
+        return report
+
+    def _generate_workloads(self, specs: Sequence[WorkloadSpec]) -> Dict[str, WorkloadRun]:
+        """Generate every workload trace + report serially; subclasses shard.
+
+        Returns runs keyed by workload name, so merging is independent of
+        generation order.
+        """
+        runs: Dict[str, WorkloadRun] = {}
+        for spec in specs:
+            trace = generate_trace(spec, num_instructions=self.instructions,
+                                   num_registers=self.num_registers)
+            runs[spec.name] = WorkloadRun(spec=spec, trace=trace,
+                                          report=self._report_for(spec, trace))
+        return runs
 
     # ------------------------------------------------------------------ running
 
@@ -267,30 +344,99 @@ class ExperimentRunner:
     # --------------------------------------------------------------------- SMT
 
     def smt_pairs(self, max_pairs: Optional[int] = None) -> List[Tuple[str, str]]:
-        """Deterministic cross-suite workload pairings for SMT2 experiments."""
-        names = list(self.workloads().keys())
-        pairs: List[Tuple[str, str]] = []
-        half = len(names) // 2
-        for index in range(half):
-            pairs.append((names[index], names[index + half]))
+        """Deterministic cross-suite workload pairings for SMT2 experiments.
+
+        Specs are interleaved round-robin across suites (every suite's first
+        workload, then every suite's second, ...) and consecutive entries are
+        paired, so adjacent pair members come from different suites wherever
+        suite sizes allow.  The order is a pure function of the spec list:
+        ``max_pairs`` only truncates, and growing ``per_suite`` only appends
+        pairs — the existing prefix never reshuffles (regression-pinned in
+        ``tests/test_experiments.py``).
+        """
+        names = [spec.name for spec in round_robin_specs(self.specs())]
+        pairs = [(names[index], names[index + 1])
+                 for index in range(0, len(names) - 1, 2)]
         if max_pairs is not None:
             pairs = pairs[:max_pairs]
         return pairs
 
-    def run_smt_config(self, name: str, config: ConfigLike,
-                       max_pairs: Optional[int] = None) -> Dict[Tuple[str, str], SmtResult]:
-        """Run an SMT2 configuration over the cross-suite pairs."""
-        results: Dict[Tuple[str, str], SmtResult] = {}
+    def plan_smt_jobs(self, name: str, config: ConfigLike,
+                      max_pairs: Optional[int] = None) -> List[SmtJob]:
+        """Materialise one :class:`SmtJob` per pair still missing ``name``.
+
+        Mirrors :meth:`plan_jobs`: every configuration is materialised before
+        anything executes, so a factory raising mid-sweep aborts the whole SMT
+        sweep with the in-memory result store untouched.
+        """
+        committed = self._smt_results.get(name, {})
         workloads = self.workloads()
+        jobs: List[SmtJob] = []
         for pair in self.smt_pairs(max_pairs):
+            if pair in committed:
+                continue
             first = workloads[pair[0]]
             second_spec = workloads[pair[1]].spec
-            # Regenerate the second trace at a different code base so the two
-            # threads do not alias in the PC-indexed predictors.
-            second_trace = generate_trace(second_spec, num_instructions=self.instructions,
-                                          num_registers=self.num_registers,
-                                          base_pc=0x800000)
             core_config = self._materialise_config(config, first)
-            results[pair] = simulate_smt_pair(first.trace, second_trace,
-                                              core_config, name=name)
+            cache_key = None
+            if self.cache is not None:
+                cache_key = self.cache.key_for_smt(
+                    core_config, first.spec, second_spec,
+                    self.instructions, self.num_registers)
+            jobs.append(SmtJob(config_name=name, pair=pair, run=first,
+                               second_spec=second_spec, config=core_config,
+                               cache_key=cache_key))
+        return jobs
+
+    def _execute_smt_jobs(self, jobs: Sequence[SmtJob]
+                          ) -> Dict[Tuple[str, str], SmtResult]:
+        """Simulate every planned SMT job serially; subclasses override to shard.
+
+        The second thread's trace is regenerated at ``second_base_pc`` so the
+        two threads do not alias in the PC-indexed predictors.  Results are
+        keyed by pair, so merging is independent of execution order.
+        """
+        results: Dict[Tuple[str, str], SmtResult] = {}
+        for job in jobs:
+            second_trace = generate_trace(job.second_spec,
+                                          num_instructions=self.instructions,
+                                          num_registers=self.num_registers,
+                                          base_pc=job.second_base_pc)
+            results[job.pair] = simulate_smt_pair(job.run.trace, second_trace,
+                                                  job.config, name=job.config_name)
         return results
+
+    def run_smt_config(self, name: str, config: ConfigLike,
+                       max_pairs: Optional[int] = None) -> Dict[Tuple[str, str], SmtResult]:
+        """Run an SMT2 configuration over the cross-suite pairs.
+
+        Follows the same plan/execute/commit pipeline as :meth:`run_config`:
+        per-pair results are memoised under ``name``, warm cache entries skip
+        simulation entirely, and the commit is atomic — a failure anywhere in
+        the sweep leaves the in-memory store untouched.
+        """
+        pairs = self.smt_pairs(max_pairs)
+        jobs = self.plan_smt_jobs(name, config, max_pairs)
+        staged: Dict[Tuple[str, str], SmtResult] = {}
+        outstanding: List[SmtJob] = []
+        for job in jobs:
+            cached = (self.cache.get_smt(job.cache_key)
+                      if job.cache_key is not None else None)
+            if cached is not None:
+                staged[job.pair] = cached
+            else:
+                outstanding.append(job)
+        if outstanding:
+            staged.update(self._execute_smt_jobs(outstanding))
+        missing = [job.pair for job in jobs if job.pair not in staged]
+        if missing:
+            raise RuntimeError(
+                f"executor returned no result for SMT pairs {missing!r} of config {name!r}")
+        # Commit only after every job succeeded, and before the disk-store
+        # writes so a cache I/O failure cannot discard a finished sweep.
+        committed = self._smt_results.setdefault(name, {})
+        committed.update(staged)
+        if self.cache is not None:
+            for job in outstanding:
+                self.cache.put_smt(job.cache_key, staged[job.pair])
+        return {pair: committed[pair] for pair in pairs}

@@ -21,6 +21,12 @@ from repro.pipeline.cpu import OutOfOrderCore
 from repro.pipeline.stats import SimulationResult
 from repro.workloads.trace import Trace
 
+#: Code base address of the second SMT thread.  The second trace is generated
+#: at a different base PC so the two threads never alias in the PC-indexed
+#: predictors; executors regenerating the trace (serial runner, pool workers,
+#: cache keys) must all agree on this value for results to be comparable.
+SMT_SECOND_THREAD_BASE_PC = 0x800000
+
 
 @dataclass
 class SmtResult:
@@ -54,6 +60,29 @@ class SmtResult:
         if not ratios:
             return 0.0
         return sum(ratios) / len(ratios)
+
+    # ------------------------------------------------------------ serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable dictionary holding the full SMT result.
+
+        The round-trip is lossless (every pipeline counter, power event and
+        per-thread record included), so SMT results can be persisted in the
+        on-disk experiment cache and shipped across process boundaries exactly
+        like single-thread :class:`SimulationResult` records.
+        """
+        return {
+            "result": self.result.to_dict(),
+            "per_thread_ipc": list(self.per_thread_ipc),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SmtResult":
+        """Rebuild an SMT result from :meth:`to_dict` output."""
+        return cls(
+            result=SimulationResult.from_dict(data["result"]),
+            per_thread_ipc=[float(value) for value in data.get("per_thread_ipc", [])],
+        )
 
 
 def simulate_smt_pair(trace_a: Trace, trace_b: Trace,

@@ -10,6 +10,7 @@ snoop events delivered by the timing model.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -24,6 +25,10 @@ from repro.workloads.kernels import (
 from repro.workloads.trace import Trace
 from repro.workloads.vm import FunctionalVM, SparseMemory
 
+#: Default code base address of a generated workload; SMT second threads use a
+#: different base so two threads never alias in the PC-indexed predictors.
+DEFAULT_BASE_PC = 0x400000
+
 #: Register used as the outer-loop counter in every generated workload.
 OUTER_COUNTER_REGISTER = 15
 
@@ -35,7 +40,7 @@ _OUTER_TRIP_COUNT = 1 << 30
 def build_workload_program(kernel_recipes: Sequence[Tuple[str, Dict[str, object]]],
                            num_registers: int = ARCH_REGISTER_COUNT,
                            seed: int = 0,
-                           base_pc: int = 0x400000) -> Tuple[Program, KernelContext]:
+                           base_pc: int = DEFAULT_BASE_PC) -> Tuple[Program, KernelContext]:
     """Assemble a workload program from ``(kernel_name, params)`` recipes.
 
     Returns the program and the kernel context (which records, among other
@@ -93,7 +98,7 @@ def _run_with_external_writes(vm: FunctionalVM,
 
 def generate_trace(spec, num_instructions: int = 50_000,
                    num_registers: Optional[int] = None,
-                   base_pc: int = 0x400000) -> Trace:
+                   base_pc: int = DEFAULT_BASE_PC) -> Trace:
     """Generate the dynamic trace for a :class:`~repro.workloads.suites.WorkloadSpec`."""
     if num_instructions <= 0:
         raise ValueError("num_instructions must be positive")
@@ -119,6 +124,29 @@ def generate_trace(spec, num_instructions: int = 50_000,
         name=spec.name, category=spec.suite, instructions=instructions,
         snoops=snoops, program=program, num_registers=registers, metadata=metadata,
     )
+
+
+def trace_signature(trace: Trace) -> str:
+    """SHA-256 digest of a trace's complete dynamic content.
+
+    Two traces are bit-identical exactly when their signatures match: the
+    digest covers every dynamic instruction (sequence number, PC, effective
+    address, load/store values, branch outcome, next PC, thread), every snoop
+    event, and the trace-level parameters.  The differential determinism tests
+    and the committed golden fixtures use this to pin trace generation without
+    storing traces.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(repr((trace.name, trace.category, trace.num_registers,
+                        len(trace.instructions))).encode("utf-8"))
+    for dyn in trace.instructions:
+        hasher.update(repr((dyn.seq, dyn.pc, dyn.opclass.value, dyn.address,
+                            dyn.load_value, dyn.store_value, dyn.branch_taken,
+                            dyn.next_pc, dyn.thread_id)).encode("utf-8"))
+    for snoop in trace.snoops:
+        hasher.update(repr((snoop.after_seq, snoop.address,
+                            snoop.writer_core)).encode("utf-8"))
+    return hasher.hexdigest()
 
 
 def generate_suite(suite: str, num_instructions: int = 50_000,

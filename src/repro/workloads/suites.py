@@ -281,6 +281,30 @@ def get_workload_spec(name: str) -> WorkloadSpec:
     raise KeyError(f"unknown workload {name!r}")
 
 
+def round_robin_specs(specs: Sequence[WorkloadSpec]) -> List[WorkloadSpec]:
+    """Interleave specs across suites: every suite's first spec, then every
+    suite's second, and so on (suites in first-appearance order, within-suite
+    order preserved).
+
+    The interleaving is *prefix-stable*: raising a uniform ``per_suite`` cut
+    only appends layers to the result, it never reshuffles the existing
+    prefix.  The experiment runner builds its SMT pairings from this order, so
+    pairings stay pinned as the workload set scales.
+    """
+    by_suite: Dict[str, List[WorkloadSpec]] = {}
+    for spec in specs:
+        by_suite.setdefault(spec.suite, []).append(spec)
+    interleaved: List[WorkloadSpec] = []
+    index = 0
+    while True:
+        layer = [suite_specs[index] for suite_specs in by_suite.values()
+                 if index < len(suite_specs)]
+        if not layer:
+            return interleaved
+        interleaved.extend(layer)
+        index += 1
+
+
 def representative_specs(per_suite: int = 3) -> List[WorkloadSpec]:
     """A reduced, suite-balanced workload set for quick experiments and benchmarks."""
     if per_suite <= 0:

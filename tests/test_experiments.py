@@ -100,6 +100,69 @@ def test_runner_smt_pairs(small_runner):
     assert all(a != b for a, b in pairs)
 
 
+def test_smt_pairs_order_is_pinned():
+    """Regression: the exact pairing order is part of the runner's contract.
+
+    ``smt_pairs`` previously split the workload-name list in half, so changing
+    ``per_suite`` reshuffled *every* pairing and invalidated any cached or
+    published SMT numbers.  The round-robin pairing is pinned here: a uniform
+    ``per_suite`` change only appends pairs, and ``max_pairs`` only truncates.
+    """
+    one = ExperimentRunner(per_suite=1, instructions=1000)
+    assert one.smt_pairs() == [("client_00", "enterprise_00"),
+                               ("fspec_00", "ispec_00")]
+    two = ExperimentRunner(per_suite=2, instructions=1000)
+    pairs_two = two.smt_pairs()
+    assert pairs_two == [("client_00", "enterprise_00"), ("fspec_00", "ispec_00"),
+                         ("server_00", "client_01"), ("enterprise_01", "fspec_01"),
+                         ("ispec_01", "server_01")]
+    # Growing per_suite appends; it never reshuffles the existing prefix.
+    assert pairs_two[:len(one.smt_pairs())] == one.smt_pairs()
+    # max_pairs is a pure truncation of the same list.
+    for limit in range(len(pairs_two) + 1):
+        assert two.smt_pairs(max_pairs=limit) == pairs_two[:limit]
+    # Pair members are always distinct, cross-suite where sizes allow.
+    assert all(a.split("_")[0] != b.split("_")[0] for a, b in pairs_two)
+    # Pairing is derived from specs alone: no trace generation required.
+    assert two._workloads is None
+
+
+def test_run_smt_config_memoises_per_pair():
+    runner = ExperimentRunner(per_suite=2, instructions=1000,
+                              suites=("Client", "Server"))
+    first = runner.run_smt_config("baseline", baseline_config(), max_pairs=1)
+    assert len(first) == 1
+    # A wider rerun reuses the committed pair and only simulates the new one.
+    second = runner.run_smt_config("baseline", baseline_config(), max_pairs=2)
+    assert len(second) == 2
+    pair = next(iter(first))
+    assert second[pair] is first[pair], "committed SMT results must be reused"
+
+
+def test_run_smt_config_failure_mid_sweep_is_atomic():
+    """A config factory raising mid-SMT-sweep must not commit partial results."""
+    runner = ExperimentRunner(per_suite=2, instructions=1000,
+                              suites=("Client", "Server"))
+    calls = {"count": 0}
+
+    def flaky_factory():
+        calls["count"] += 1
+        if calls["count"] > 1:
+            raise RuntimeError("factory exploded mid-sweep")
+        return constable_config()
+
+    with pytest.raises(RuntimeError, match="exploded"):
+        runner.run_smt_config("flaky", flaky_factory, max_pairs=2)
+    assert calls["count"] > 1
+    assert runner._smt_results.get("flaky", {}) == {}
+
+    # The sweep stays usable afterwards.
+    results = runner.run_smt_config("flaky", constable_config(), max_pairs=2)
+    assert set(results) == set(runner.smt_pairs(max_pairs=2))
+    for smt in results.values():
+        assert smt.cycles > 0 and len(smt.per_thread_ipc) == 2
+
+
 def test_runner_rejects_bad_parameters():
     with pytest.raises(ValueError):
         ExperimentRunner(instructions=0)

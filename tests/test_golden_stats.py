@@ -1,0 +1,111 @@
+"""Golden-stats regression tests: committed snapshots pin the timing model.
+
+The on-disk caches key every entry with ``SCHEMA_VERSION``, so a timing-model
+change that forgets the schema bump would silently serve stale results to
+warm runs.  These tests make such drift fail loudly instead: small JSON
+snapshots of each golden workload's trace signature, Load Inspector summary
+and baseline/constable simulation summaries are committed under
+``tests/golden/``, and every run asserts the current code reproduces them
+bit-for-bit (all values pass through a JSON round-trip on both sides, so the
+comparison is exact).
+
+When a change *intentionally* alters these numbers, refresh the fixtures and
+bump :data:`repro.experiments.cache.SCHEMA_VERSION` in the same commit:
+
+    PYTHONPATH=src python tests/test_golden_stats.py --refresh
+
+The diff of ``tests/golden/*.json`` then documents exactly what moved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.analysis.load_inspector import inspect_trace
+from repro.experiments.configs import baseline_config, constable_config
+from repro.pipeline import simulate_trace
+from repro.workloads.generator import generate_trace, trace_signature
+from repro.workloads.suites import get_workload_spec
+
+#: Where the committed snapshots live.
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Seeded workloads pinned by the fixtures: one stable-load-rich suite, one
+#: SPEC-like suite, one snoop-heavy suite.
+GOLDEN_WORKLOADS = ("client_00", "ispec_00", "server_00")
+
+#: Trace length of the golden runs (short: the three workloads simulate twice).
+GOLDEN_INSTRUCTIONS = 1200
+
+
+def compute_snapshot(workload: str) -> Dict[str, object]:
+    """Regenerate every pinned statistic for ``workload`` from scratch."""
+    spec = get_workload_spec(workload)
+    trace = generate_trace(spec, num_instructions=GOLDEN_INSTRUCTIONS)
+    report = inspect_trace(trace)
+    baseline = simulate_trace(trace, baseline_config(), name="baseline")
+    constable = simulate_trace(trace, constable_config(), name="constable")
+    snapshot = {
+        "workload": workload,
+        "suite": spec.suite,
+        "instructions": GOLDEN_INSTRUCTIONS,
+        "trace_signature": trace_signature(trace),
+        "report_summary": report.summary(),
+        "baseline_summary": baseline.summary(),
+        "constable_summary": constable.summary(),
+    }
+    # Round-trip through JSON so committed and recomputed values compare in
+    # the exact same representation.
+    return json.loads(json.dumps(snapshot))
+
+
+def _fixture_path(workload: str) -> Path:
+    return GOLDEN_DIR / f"{workload}.json"
+
+
+@pytest.mark.parametrize("workload", GOLDEN_WORKLOADS)
+def test_golden_stats_reproduce(workload):
+    path = _fixture_path(workload)
+    assert path.is_file(), (
+        f"missing golden fixture {path}; generate it with "
+        f"`PYTHONPATH=src python tests/test_golden_stats.py --refresh`")
+    expected = json.loads(path.read_text(encoding="utf-8"))
+    actual = compute_snapshot(workload)
+    if actual != expected:
+        drifted = sorted(key for key in set(expected) | set(actual)
+                         if expected.get(key) != actual.get(key))
+        raise AssertionError(
+            f"golden stats drifted for {workload} in {drifted}: the timing "
+            f"model or workload generation changed.  If intentional, refresh "
+            f"tests/golden/ AND bump repro.experiments.cache.SCHEMA_VERSION "
+            f"so stale cache entries cannot be served.\n"
+            + "\n".join(f"  {key}: expected {expected.get(key)!r}\n"
+                        f"  {' ' * len(key)}  actual   {actual.get(key)!r}"
+                        for key in drifted))
+
+
+def refresh() -> None:
+    """Rewrite every golden fixture from the current code."""
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for workload in GOLDEN_WORKLOADS:
+        snapshot = compute_snapshot(workload)
+        path = _fixture_path(workload)
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--refresh", action="store_true",
+                        help="rewrite tests/golden/*.json from the current code")
+    if parser.parse_args().refresh:
+        refresh()
+    else:
+        parser.error("nothing to do; pass --refresh to rewrite the fixtures")

@@ -1,11 +1,18 @@
 """Differential tests: parallel sharded execution is bit-identical to serial.
 
 The parallel runner regenerates traces in workers from the workload spec's
-seed and merges shard results keyed by workload name, so neither the worker
-count nor shard completion order may change any statistic.  These tests run
-the same (workload, config) sweep serially and with 2- and 4-worker pools and
-require equality of the *entire* :class:`SimulationResult` (every pipeline
-counter included), then check that aggregation is merge-order independent.
+seed and merges shard results keyed by workload name (or SMT pair), so
+neither the worker count nor shard completion order may change any statistic
+— or any trace bit.  These tests run the same sweeps serially and with 1-,
+2- and 4-worker pools and require equality of:
+
+* every generated trace (full dynamic content, via ``trace_signature``) and
+  every Load Inspector report, covering the sharded cold-start path;
+* the *entire* :class:`SimulationResult` of every (workload, config) pair
+  (every pipeline counter included);
+* every :class:`SmtResult` of the SMT2 pair sweeps;
+
+and then check that aggregation is merge-order independent.
 """
 
 from __future__ import annotations
@@ -24,11 +31,21 @@ from repro.experiments.configs import (
 )
 from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.runner import ExperimentRunner
+from repro.workloads.generator import trace_signature
 
 #: Reduced sweep shared by the differential tests.
 SUITES = ("Client", "ISPEC17", "Server")
 INSTRUCTIONS = 1500
 CONFIGS = {
+    "baseline": baseline_config,
+    "constable": constable_config,
+}
+
+#: Reduced SMT sweep: 2 suites x 2 workloads -> 2 cross-suite pairs.
+SMT_SUITES = ("Client", "Server")
+SMT_PER_SUITE = 2
+SMT_INSTRUCTIONS = 1200
+SMT_CONFIGS = {
     "baseline": baseline_config,
     "constable": constable_config,
 }
@@ -46,12 +63,56 @@ def serial_runner():
                                        suites=SUITES))
 
 
-@pytest.fixture(scope="module", params=[2, 4], ids=["workers2", "workers4"])
+@pytest.fixture(scope="module", params=[1, 2, 4],
+                ids=["workers1", "workers2", "workers4"])
 def parallel_runner(request):
     runner = ParallelExperimentRunner(per_suite=1, instructions=INSTRUCTIONS,
                                       suites=SUITES, max_workers=request.param)
     yield _run_sweep(runner)
     runner.close()
+
+
+def _run_smt_sweep(runner: ExperimentRunner):
+    sweeps = {name: runner.run_smt_config(name, factory())
+              for name, factory in SMT_CONFIGS.items()}
+    return runner, sweeps
+
+
+@pytest.fixture(scope="module")
+def serial_smt():
+    return _run_smt_sweep(ExperimentRunner(per_suite=SMT_PER_SUITE,
+                                           instructions=SMT_INSTRUCTIONS,
+                                           suites=SMT_SUITES))
+
+
+@pytest.fixture(scope="module", params=[1, 2, 4],
+                ids=["workers1", "workers2", "workers4"])
+def parallel_smt(request):
+    runner = ParallelExperimentRunner(per_suite=SMT_PER_SUITE,
+                                      instructions=SMT_INSTRUCTIONS,
+                                      suites=SMT_SUITES,
+                                      max_workers=request.param)
+    yield _run_smt_sweep(runner)
+    runner.close()
+
+
+# ----------------------------------------------------------- trace generation
+
+def test_parallel_trace_generation_identical_to_serial(serial_runner, parallel_runner):
+    """Sharded cold-start generation yields bit-identical traces and reports."""
+    serial_workloads = serial_runner.workloads()
+    parallel_workloads = parallel_runner.workloads()
+    assert list(serial_workloads) == list(parallel_workloads), \
+        "workload order must follow spec order, not shard completion order"
+    for workload, serial_run in serial_workloads.items():
+        parallel_run = parallel_workloads[workload]
+        assert serial_run.spec == parallel_run.spec
+        assert trace_signature(serial_run.trace) == trace_signature(parallel_run.trace), \
+            workload
+        assert serial_run.report.to_dict() == parallel_run.report.to_dict(), workload
+
+
+# -------------------------------------------------------------- single thread
 
 
 def test_parallel_results_identical_to_serial(serial_runner, parallel_runner):
@@ -80,6 +141,43 @@ def test_parallel_aggregates_identical_to_serial(serial_runner, parallel_runner)
         assert (parallel_runner.geomean_speedup(config)
                 == serial_runner.geomean_speedup(config))
 
+
+# ------------------------------------------------------------------------ SMT
+
+def test_parallel_smt_sweep_identical_to_serial(serial_smt, parallel_smt):
+    """Every SMT pair/config produces an identical SmtResult at any worker count."""
+    _, serial_sweeps = serial_smt
+    _, parallel_sweeps = parallel_smt
+    assert set(serial_sweeps) == set(parallel_sweeps)
+    for config, serial_results in serial_sweeps.items():
+        parallel_results = parallel_sweeps[config]
+        assert list(serial_results) == list(parallel_results), \
+            "pair order must follow smt_pairs order, not shard completion order"
+        for pair, serial_result in serial_results.items():
+            parallel_result = parallel_results[pair]
+            # Dataclass equality covers the full SimulationResult (cycles,
+            # every PipelineStats counter, power events, per-thread records)
+            # plus the per-thread IPC list.
+            assert serial_result == parallel_result, (config, pair)
+
+
+def test_parallel_smt_speedups_identical_to_serial(serial_smt, parallel_smt):
+    """Weighted speedups derived from the sweeps match exactly."""
+    _, serial_sweeps = serial_smt
+    _, parallel_sweeps = parallel_smt
+    for flavour_sweeps in (serial_sweeps, parallel_sweeps):
+        assert set(flavour_sweeps["baseline"]) == set(flavour_sweeps["constable"])
+    for pair in serial_sweeps["baseline"]:
+        serial_ws = serial_sweeps["constable"][pair].weighted_speedup_over(
+            serial_sweeps["baseline"][pair])
+        parallel_ws = parallel_sweeps["constable"][pair].weighted_speedup_over(
+            parallel_sweeps["baseline"][pair])
+        assert serial_ws == parallel_ws, pair
+        assert (serial_sweeps["baseline"][pair].throughput()
+                == parallel_sweeps["baseline"][pair].throughput()), pair
+
+
+# ---------------------------------------------------------------- aggregation
 
 def test_shard_merge_order_does_not_change_geomean(serial_runner):
     """Geomean aggregation is invariant under any shard/merge ordering."""

@@ -1,16 +1,21 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
 import dataclasses
+import hashlib
 import json
+import os
+import tempfile
 
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.load_inspector import GlobalStableReport, LoadSiteStats
 from repro.analysis.stats_utils import box_whisker_summary, geomean
 from repro.core import AddressMonitorTable, ConstableConfig, StableLoadDetector
+from repro.experiments.cache import ResultCache
 from repro.isa.instruction import MemOperand, AddressingMode
 from repro.isa.registers import STACK_REGISTERS
 from repro.memory.cache import CacheConfig, SetAssociativeCache
+from repro.pipeline.smt import SmtResult
 from repro.pipeline.stats import PipelineStats, SimulationResult
 from repro.workloads.suites import WorkloadSpec
 from repro.workloads.vm import SparseMemory
@@ -148,6 +153,70 @@ def test_simulation_result_serialization_round_trips(stats, cycles, instructions
         memory_stats={"service_levels": dict(power)},
         per_thread=[{"thread": 0, "ipc": 1.5}])
     assert SimulationResult.from_dict(_json_round_trip(result.to_dict())) == result
+
+
+@given(stats=pipeline_stats_strategy(), cycles=_counters, instructions=_counters,
+       power=_metric_dicts,
+       ipcs=st.lists(st.floats(min_value=0.0, max_value=16.0, allow_nan=False),
+                     max_size=4))
+@settings(max_examples=50, deadline=None)
+def test_smt_result_serialization_round_trips(stats, cycles, instructions, power, ipcs):
+    result = SimulationResult(
+        trace_name="a+b", config_name="smt2", cycles=cycles,
+        instructions=instructions, stats=stats, power_events=power,
+        per_thread=[{"thread": float(i), "ipc": ipc} for i, ipc in enumerate(ipcs)])
+    smt = SmtResult(result=result, per_thread_ipc=list(ipcs))
+    rebuilt = SmtResult.from_dict(_json_round_trip(smt.to_dict()))
+    assert rebuilt == smt
+    assert rebuilt.cycles == smt.cycles
+    assert rebuilt.total_instructions == smt.total_instructions
+    assert rebuilt.throughput() == smt.throughput()
+    if any(ipc > 0 for ipc in ipcs):
+        # Derived weighted speedups must survive the round trip bit-for-bit.
+        assert rebuilt.weighted_speedup_over(smt) == smt.weighted_speedup_over(smt)
+
+
+# ----------------------------------------------------- cache GC invariants
+
+_entry_sizes = st.lists(st.integers(min_value=0, max_value=8192),
+                        min_size=1, max_size=20)
+
+
+@given(sizes=_entry_sizes, cap_kb=st.integers(min_value=1, max_value=48))
+@settings(max_examples=40, deadline=None)
+def test_cache_gc_evicts_exactly_the_minimal_lru_prefix(sizes, cap_kb):
+    """GC never acts below the cap, and above it evicts only the LRU prefix
+    needed to get back under — never more, never newer-before-older."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        paths = []
+        for index, size in enumerate(sizes):
+            key = hashlib.sha256(str(index).encode("utf-8")).hexdigest()
+            path = cache._path_for(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(b"x" * size)
+            timestamp = 1_000_000 + index  # strictly increasing recency
+            os.utime(path, (timestamp, timestamp))
+            paths.append(path)
+
+        total = sum(sizes)
+        cap_bytes = cap_kb * 1024
+        removed = cache.gc(max_mb=cap_kb / 1024.0)
+
+        assert cache.total_bytes() <= cap_bytes
+        if total <= cap_bytes:
+            assert removed == [], "GC must never evict while under the cap"
+        else:
+            expected_removals = 0
+            remaining = total
+            while remaining > cap_bytes:
+                remaining -= sizes[expected_removals]
+                expected_removals += 1
+            assert removed == paths[:expected_removals]
+            assert cache.total_bytes() == remaining
+        # Survivors are exactly the most-recent suffix, all still on disk.
+        survivors = {path for path, _, _ in cache.entries()}
+        assert survivors == set(paths[len(removed):])
 
 
 _kernel_params = st.dictionaries(

@@ -1,9 +1,11 @@
-"""Tests for the content-addressed on-disk result cache.
+"""Tests for the content-addressed on-disk caches.
 
-Covers the cold/warm protocol (cold run populates the store, warm run returns
-equal results with zero simulations), key invalidation on configuration and
-schema changes, corruption tolerance, and cache sharing between the serial and
-parallel runner flavours.
+Covers the cold/warm protocol for all three entry kinds (single-thread
+results, SMT pair results, Load Inspector reports — a cold run populates the
+store, a warm run returns equal records with zero recomputation), key
+invalidation on configuration and schema changes, corruption tolerance, cache
+sharing between the serial and parallel runner flavours, and the LRU size-cap
+GC (``REPRO_CACHE_MAX_MB``).
 """
 
 from __future__ import annotations
@@ -12,7 +14,12 @@ import json
 
 import pytest
 
-from repro.experiments.cache import ResultCache, config_fingerprint
+from repro.experiments.cache import (
+    CACHE_MAX_MB_ENV,
+    ReportCache,
+    ResultCache,
+    config_fingerprint,
+)
 from repro.experiments.configs import baseline_config, constable_config
 from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.runner import ExperimentRunner
@@ -140,6 +147,180 @@ def test_parallel_runner_shares_cache_with_serial(tmp_path, simulation_counter):
     assert simulation_counter["count"] == 0, "parent process never simulated"
     for workload in cold_results:
         assert warm_results[workload] == cold_results[workload]
+
+
+# -------------------------------------------------------------- SMT entries
+
+def test_smt_cold_run_populates_store_warm_run_simulates_nothing(tmp_path, simulation_counter):
+    cold = ExperimentRunner(per_suite=2, instructions=INSTRUCTIONS,
+                            suites=SUITES, cache=ResultCache(tmp_path))
+    cold_results = cold.run_smt_config("baseline", baseline_config())
+    pairs = len(cold.smt_pairs())
+    assert pairs == 2
+    assert simulation_counter["count"] == pairs, "one SMT simulation per pair"
+    assert cold.cache.stats.stores == pairs
+
+    warm = ExperimentRunner(per_suite=2, instructions=INSTRUCTIONS,
+                            suites=SUITES, cache=ResultCache(tmp_path))
+    warm_results = warm.run_smt_config("baseline", baseline_config())
+    assert simulation_counter["count"] == pairs, "warm SMT run must not simulate"
+    assert warm.cache.stats.hits == pairs
+    assert set(warm_results) == set(cold_results)
+    for pair in cold_results:
+        # Full-record equality: SimulationResult + per-thread IPCs round-trip
+        # losslessly through the disk store.
+        assert warm_results[pair] == cold_results[pair]
+
+
+def test_smt_and_result_keys_never_collide(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec_a = workload_specs_for_suite("Client")[0]
+    spec_b = workload_specs_for_suite("Server")[0]
+    single = cache.key_for(baseline_config(), spec_a, INSTRUCTIONS, 16)
+    smt = cache.key_for_smt(baseline_config(), spec_a, spec_b, INSTRUCTIONS, 16)
+    assert single != smt
+    # The SMT key covers the pairing order and the second thread's base PC.
+    swapped = cache.key_for_smt(baseline_config(), spec_b, spec_a, INSTRUCTIONS, 16)
+    assert swapped != smt
+    moved = cache.key_for_smt(baseline_config(), spec_a, spec_b, INSTRUCTIONS, 16,
+                              second_base_pc=0x900000)
+    assert moved != smt
+
+
+# ------------------------------------------------------------ report entries
+
+def test_report_cache_cold_run_populates_warm_run_inspects_nothing(tmp_path, monkeypatch):
+    from repro.experiments import runner as runner_module
+
+    calls = {"count": 0}
+    original = runner_module.inspect_trace
+
+    def counted(trace):
+        calls["count"] += 1
+        return original(trace)
+
+    monkeypatch.setattr(runner_module, "inspect_trace", counted)
+
+    cold = ExperimentRunner(per_suite=1, instructions=INSTRUCTIONS,
+                            suites=SUITES, report_cache=ReportCache(tmp_path))
+    cold_workloads = cold.workloads()
+    assert calls["count"] == len(cold_workloads)
+    assert cold.report_cache.stats.stores == len(cold_workloads)
+
+    warm = ExperimentRunner(per_suite=1, instructions=INSTRUCTIONS,
+                            suites=SUITES, report_cache=ReportCache(tmp_path))
+    warm_workloads = warm.workloads()
+    assert calls["count"] == len(cold_workloads), "warm run must not inspect"
+    assert warm.report_cache.stats.hits == len(warm_workloads)
+    for name, cold_run in cold_workloads.items():
+        warm_run = warm_workloads[name]
+        assert warm_run.report.to_dict() == cold_run.report.to_dict()
+        assert warm_run.report.global_stable_pcs() == cold_run.report.global_stable_pcs()
+
+
+def test_report_and_result_caches_share_a_directory(tmp_path, simulation_counter):
+    runner = ExperimentRunner(per_suite=1, instructions=INSTRUCTIONS,
+                              suites=SUITES, cache=ResultCache(tmp_path),
+                              report_cache=ReportCache(tmp_path))
+    runner.run_config("baseline", baseline_config())
+    workloads = len(runner.workloads())
+    # Kind-tagged keys: both namespaces coexist without collisions, and either
+    # cache instance sees (and budgets) the whole directory.
+    assert len(runner.cache) == 2 * workloads
+    assert runner.cache.total_bytes() == runner.report_cache.total_bytes()
+
+
+# ------------------------------------------------------------------------ GC
+
+def test_gc_survivors_still_hit_and_evicted_entries_rebuild(tmp_path, simulation_counter):
+    cache = ResultCache(tmp_path)
+    runner = _make_runner(cache)
+    runner.run_config("baseline", baseline_config())
+    sims = simulation_counter["count"]
+    total = cache.total_bytes()
+    assert total > 0
+
+    removed = cache.gc(max_mb=(total - 1) / (1024 * 1024))
+    assert len(removed) == 1, "a cap one byte under the total evicts exactly the LRU entry"
+    assert cache.stats.evictions == 1
+
+    warm = _make_runner(ResultCache(tmp_path))
+    warm.run_config("baseline", baseline_config())
+    survivors = len(warm.workloads()) - 1
+    assert warm.cache.stats.hits == survivors, "surviving entries must still validate"
+    assert simulation_counter["count"] == sims + 1, "only the evicted entry re-simulates"
+
+
+def test_gc_noop_without_cap_and_below_cap(tmp_path):
+    cache = ResultCache(tmp_path)
+    runner = _make_runner(cache)
+    runner.run_config("baseline", baseline_config())
+    entries = len(cache)
+    assert cache.gc() == [], "no cap configured: GC must be a no-op"
+    assert cache.gc(max_mb=1024) == [], "under the cap: GC must evict nothing"
+    assert len(cache) == entries
+
+
+def test_cache_hit_refreshes_lru_recency(tmp_path):
+    import os
+    import time
+
+    cache = ResultCache(tmp_path)
+    runner = _make_runner(cache)
+    results = runner.run_config("baseline", baseline_config())
+    ordered = cache.entries()
+    oldest_path = ordered[0][0]
+    # Age every entry far into the past, then touch the oldest via a hit.
+    for index, (path, _, _) in enumerate(ordered):
+        os.utime(path, (1_000_000 + index, 1_000_000 + index))
+    oldest_key = oldest_path.stem
+    assert cache.get(oldest_key) is not None
+    assert cache.entries()[-1][0] == oldest_path, "a hit must move the entry to MRU"
+    # GC under a tight cap now spares the hit entry.
+    size_of_hit = next(size for path, _, size in cache.entries() if path == oldest_path)
+    removed = cache.gc(max_mb=size_of_hit / (1024 * 1024))
+    assert oldest_path not in removed
+    assert cache.get(oldest_key) is not None
+
+
+def test_undecodable_entry_is_not_promoted_to_mru(tmp_path):
+    """A decode failure must not refresh recency, or the dead entry would
+    survive every GC while valid entries around it get evicted."""
+    import os
+
+    cache = ResultCache(tmp_path)
+    runner = _make_runner(cache)
+    runner.run_config("baseline", baseline_config())
+    entry = cache.entries()[0][0]
+    payload = json.loads(entry.read_text(encoding="utf-8"))
+    payload["result"] = {"nonsense": True}  # envelope valid, body undecodable
+    entry.write_text(json.dumps(payload), encoding="utf-8")
+    os.utime(entry, (1, 1))  # oldest entry in the directory
+
+    misses_before = cache.stats.misses
+    assert cache.get(entry.stem) is None
+    assert cache.stats.misses == misses_before + 1
+    assert cache.entries()[0][0] == entry, \
+        "failed decode left the entry oldest, so the LRU GC evicts it first"
+
+
+def test_env_cap_arms_auto_gc_on_put(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    runner = _make_runner(cache)
+    runner.run_config("baseline", baseline_config())
+    cap_mb = (cache.total_bytes() - 1) / (1024 * 1024)
+
+    monkeypatch.setenv(CACHE_MAX_MB_ENV, str(cap_mb))
+    capped = ResultCache(tmp_path)
+    assert capped.max_mb == pytest.approx(cap_mb)
+    runner2 = _make_runner(capped)
+    runner2.run_config("constable", constable_config())
+    assert capped.stats.evictions > 0, "puts over the cap must trigger eviction"
+    assert capped.total_bytes() <= int(cap_mb * 1024 * 1024)
+
+    monkeypatch.setenv(CACHE_MAX_MB_ENV, "-3")
+    with pytest.raises(ValueError):
+        ResultCache(tmp_path)
 
 
 def test_fingerprint_is_insertion_order_independent():
