@@ -22,7 +22,14 @@ execution layer:
   configuration, workload spec, trace parameters and a schema version, so
   stale hits across code changes are prevented by bumping
   :data:`repro.experiments.cache.SCHEMA_VERSION`.  Set
-  ``REPRO_CACHE_MAX_MB`` to cap the directory's size (LRU eviction).
+  ``REPRO_CACHE_MAX_MB`` to cap the directory's size (LRU eviction; a
+  malformed value warns once and is ignored).
+
+The benchmarks, the figure harnesses and the ``repro`` CLI all execute
+through the same plan → filter-by-shard → execute → commit runner pipeline,
+so a directory warmed by ``repro sweep`` (even sharded across hosts) serves
+this benchmark session too — point ``REPRO_BENCH_CACHE`` at it with matching
+trace parameters.
 """
 
 from __future__ import annotations

@@ -16,6 +16,19 @@ def geomean(values: Iterable[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def filtered_geomean(values: Iterable[float], default: float = 1.0) -> float:
+    """Geometric mean over the strictly positive subset of ``values``.
+
+    Degenerate runs (zero-cycle traces from tiny instruction budgets) can feed
+    aggregation paths non-positive ratios that carry no speedup information;
+    the figure harnesses use this variant so such runs are excluded instead of
+    crashing :func:`geomean`.  Returns ``default`` when nothing positive
+    remains.
+    """
+    positive = [value for value in values if value > 0]
+    return geomean(positive) if positive else default
+
+
 def speedup(baseline_cycles: float, candidate_cycles: float) -> float:
     """Speedup of a candidate over a baseline given cycle counts."""
     if baseline_cycles <= 0 or candidate_cycles <= 0:

@@ -1,0 +1,318 @@
+"""``repro`` — console entry point for distributed sweeps and cache operations.
+
+Subcommands:
+
+* ``repro cache stats|gc|clear|verify`` — operate on a (possibly shared) cache
+  directory: entry counts and bytes by kind, LRU eviction to a cap, full
+  clears, and integrity verification (corrupt/stale/orphan detection against
+  the current ``SCHEMA_VERSION``; non-zero exit when anything is wrong).
+* ``repro sweep`` — run the paper's configuration sweep through the shared
+  plan → filter-by-shard → execute → commit pipeline.  ``--shard K/N``
+  deterministically restricts execution to shard K of N, so N hosts pointed
+  at one cache directory cover the full suite disjointly; an unsharded
+  ``repro sweep --merge`` afterwards folds the per-shard cache entries into
+  results bit-identical to a serial unsharded run and prints the summary.
+* ``repro figures <name ...|all>`` — regenerate paper figure harnesses from
+  ``repro.experiments.figures``; warm from a swept cache this performs zero
+  simulations and zero inspection passes (enforceable via ``--expect-warm``).
+
+Every subcommand resolves its cache directory from ``--cache-dir``, then the
+``REPRO_CACHE_DIR`` environment variable, then ``.repro-cache``.  Hit/miss
+counters are per-process: ``sweep`` and ``figures`` print the counters of the
+run they just performed, while ``cache stats`` reports the on-disk state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.cache import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    CacheVerifyReport,
+    ReportCache,
+    ResultCache,
+)
+from repro.experiments.figures import (
+    FIGURE_HARNESSES,
+    STANDALONE_HARNESSES,
+    default_runner,
+    sweep_configs,
+    sweep_smt_configs,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentRunner, Shard
+from repro.workloads.suites import SUITE_NAMES
+
+
+def _resolve_cache_dir(arg: Optional[str]) -> str:
+    return arg or os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+
+
+def _human_bytes(count: int) -> str:
+    if count >= 1024 * 1024:
+        return f"{count / (1024 * 1024):.2f} MiB"
+    if count >= 1024:
+        return f"{count / 1024:.1f} KiB"
+    return f"{count} B"
+
+
+def _add_cache_dir_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help=f"cache directory (default: ${CACHE_DIR_ENV} or {DEFAULT_CACHE_DIR})")
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_cache_dir_argument(parser)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (>1 uses the parallel runner)")
+    parser.add_argument("--per-suite", type=int, default=2,
+                        help="workloads per suite (0 = the full suite)")
+    parser.add_argument("--instructions", type=int, default=6000,
+                        help="trace length in instructions")
+    parser.add_argument("--suites", default=None,
+                        help="comma-separated suite subset (default: all suites)")
+
+
+def _build_runner(args: argparse.Namespace) -> ExperimentRunner:
+    suites: Sequence[str] = SUITE_NAMES
+    if args.suites:
+        suites = [name.strip() for name in args.suites.split(",") if name.strip()]
+        unknown = sorted(set(suites) - set(SUITE_NAMES))
+        if unknown:
+            raise SystemExit(f"unknown suites {unknown}; available: {list(SUITE_NAMES)}")
+    per_suite = None if args.per_suite == 0 else args.per_suite
+    return default_runner(per_suite=per_suite, instructions=args.instructions,
+                          workers=args.workers,
+                          cache_dir=_resolve_cache_dir(args.cache_dir),
+                          suites=suites)
+
+
+def _print_verify_report(report: CacheVerifyReport, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return
+    print(f"cache directory : {report.directory}")
+    print(f"schema version  : {report.schema_version}")
+    print(f"entries         : {report.entries} ({_human_bytes(report.total_bytes)})")
+    for kind in sorted(report.by_kind):
+        print(f"  {kind:<14}: {report.by_kind[kind]}")
+    print(f"stale schema    : {len(report.stale_schema)}")
+    print(f"corrupt         : {len(report.corrupt)}")
+    print(f"key mismatch    : {len(report.key_mismatch)}")
+    print(f"orphan temp     : {len(report.orphan_temp)}")
+    if report.purged:
+        print(f"purged          : {report.purged}")
+    for label, paths in (("corrupt", report.corrupt),
+                         ("key mismatch", report.key_mismatch),
+                         ("orphan temp", report.orphan_temp)):
+        for path in paths:
+            print(f"  {label}: {path}")
+
+
+# ------------------------------------------------------------------- commands
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(_resolve_cache_dir(args.cache_dir))
+    if args.cache_command == "stats":
+        # Envelope-only scan: counts and bytes should stay cheap on large
+        # directories; `cache verify` is the full-decode integrity pass.
+        _print_verify_report(cache.verify(decode_bodies=False), args.json)
+        return 0
+    if args.cache_command == "gc":
+        max_mb = args.max_mb if args.max_mb is not None else cache.max_mb
+        if max_mb is None:
+            print("no size cap: pass --max-mb or set REPRO_CACHE_MAX_MB",
+                  file=sys.stderr)
+            return 2
+        if not math.isfinite(max_mb) or max_mb <= 0:
+            print(f"--max-mb must be a positive number of megabytes, got {max_mb}",
+                  file=sys.stderr)
+            return 2
+        removed = cache.gc(max_mb=max_mb)
+        print(f"evicted {len(removed)} entries; "
+              f"{len(cache)} remain ({_human_bytes(cache.total_bytes())})")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.directory}")
+        return 0
+    if args.cache_command == "verify":
+        report = cache.verify(purge=args.purge)
+        _print_verify_report(report, args.json)
+        if not report.ok and not args.purge:
+            return 1
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
+
+
+def _parse_config_subset(raw: Optional[str], available: Dict[str, object],
+                         what: str) -> Dict[str, object]:
+    if raw is None:
+        return dict(available)
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    if names == ["none"]:
+        return {}
+    unknown = [name for name in names if name not in available]
+    if unknown:
+        raise SystemExit(
+            f"unknown {what} {unknown}; available: {sorted(available)}")
+    return {name: available[name] for name in names}
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    shard = Shard.parse(args.shard) if args.shard else None
+    if shard is not None and args.merge:
+        raise SystemExit("--merge folds every shard's results; drop --shard")
+    configs = _parse_config_subset(args.configs, sweep_configs(), "configs")
+    smt_configs = _parse_config_subset(args.smt_configs, sweep_smt_configs(),
+                                       "SMT configs")
+    with _build_runner(args) as runner:
+        label = f"shard {shard.index}/{shard.count}" if shard else "full sweep"
+        print(f"{label}: {len(runner.specs())} workloads, "
+              f"{len(configs)} configs, {len(smt_configs)} SMT configs "
+              f"-> cache {runner.cache.directory}")
+        for name, config in configs.items():
+            before = runner.cache.stats.stores
+            results = runner.run_config(name, config, shard=shard)
+            print(f"  {name}: {len(results)} workloads "
+                  f"({runner.cache.stats.stores - before} simulated)")
+        for name, config in smt_configs.items():
+            before = runner.cache.stats.stores
+            results = runner.run_smt_config(name, config,
+                                            max_pairs=args.max_pairs, shard=shard)
+            print(f"  smt:{name}: {len(results)} pairs "
+                  f"({runner.cache.stats.stores - before} simulated)")
+        simulated = runner.cache.stats.stores
+        inspected = (runner.report_cache.stats.stores
+                     if runner.report_cache is not None else 0)
+        print(f"done: {simulated} simulated, {runner.cache.stats.hits} cache hits, "
+              f"{inspected} inspection passes")
+        if args.merge and "baseline" in configs:
+            rows = [(name, f"{runner.geomean_speedup(name):.4f}")
+                    for name in configs if name != "baseline"]
+            if rows:
+                print(format_table(["config", "geomean speedup"], rows,
+                                   title="merged sweep summary"))
+    if args.expect_warm and (simulated > 0 or inspected > 0):
+        print(f"--expect-warm violated: {simulated} simulations and "
+              f"{inspected} inspection passes executed", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    names: List[str] = []
+    for name in args.names:
+        if name == "all":
+            names.extend(key for key in FIGURE_HARNESSES if key not in names)
+        elif name in FIGURE_HARNESSES or name in STANDALONE_HARNESSES:
+            if name not in names:
+                names.append(name)
+        else:
+            available = sorted(FIGURE_HARNESSES) + sorted(STANDALONE_HARNESSES)
+            raise SystemExit(f"unknown figure {name!r}; available: {available}")
+    with _build_runner(args) as runner:
+        for name in names:
+            if name in FIGURE_HARNESSES:
+                result = FIGURE_HARNESSES[name](runner)
+            else:
+                result = STANDALONE_HARNESSES[name]()
+            if args.json:
+                payload = {key: value for key, value in result.items() if key != "text"}
+                print(json.dumps({name: payload}, indent=2, sort_keys=True,
+                                 default=str))
+            elif isinstance(result.get("text"), str):
+                print(result["text"])
+            else:
+                print(f"{name}: {sorted(result)}")
+        simulated = runner.cache.stats.stores if runner.cache is not None else 0
+        inspected = (runner.report_cache.stats.stores
+                     if runner.report_cache is not None else 0)
+        hits = runner.cache.stats.hits if runner.cache is not None else 0
+        print(f"done: {simulated} simulated, {hits} cache hits, "
+              f"{inspected} inspection passes")
+    if args.expect_warm and (simulated > 0 or inspected > 0):
+        print(f"--expect-warm violated: {simulated} simulations and "
+              f"{inspected} inspection passes executed", file=sys.stderr)
+        return 2
+    return 0
+
+
+# --------------------------------------------------------------------- parser
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed sweep, figure and cache operations for the "
+                    "Constable reproduction.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cache = commands.add_parser("cache", help="operate on an on-disk cache directory")
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    stats = cache_commands.add_parser("stats", help="entry counts and bytes by kind")
+    _add_cache_dir_argument(stats)
+    stats.add_argument("--json", action="store_true", help="machine-readable output")
+    gc = cache_commands.add_parser("gc", help="evict LRU entries down to a cap")
+    _add_cache_dir_argument(gc)
+    gc.add_argument("--max-mb", type=float, default=None,
+                    help="size cap in megabytes (default: REPRO_CACHE_MAX_MB)")
+    clear = cache_commands.add_parser("clear", help="delete every cache entry")
+    _add_cache_dir_argument(clear)
+    verify = cache_commands.add_parser(
+        "verify", help="detect corrupt/stale/orphaned entries (exit 1 if any)")
+    _add_cache_dir_argument(verify)
+    verify.add_argument("--purge", action="store_true",
+                        help="delete every flagged file")
+    verify.add_argument("--json", action="store_true", help="machine-readable output")
+
+    sweep = commands.add_parser(
+        "sweep", help="run the configuration sweep (optionally one shard of N)")
+    _add_runner_arguments(sweep)
+    sweep.add_argument("--shard", default=None, metavar="K/N",
+                       help="run only shard K of N (1-based)")
+    sweep.add_argument("--configs", default=None,
+                       help="comma-separated single-thread config subset, or 'none'")
+    sweep.add_argument("--smt-configs", default=None,
+                       help="comma-separated SMT config subset, or 'none'")
+    sweep.add_argument("--max-pairs", type=int, default=4,
+                       help="SMT pair budget (matches fig. 14's default)")
+    sweep.add_argument("--merge", action="store_true",
+                       help="full run that folds shard results and prints a summary")
+    sweep.add_argument("--expect-warm", action="store_true",
+                       help="exit 2 if anything had to be simulated or inspected")
+
+    figures = commands.add_parser(
+        "figures", help="regenerate paper figure harnesses (warm-from-cache)")
+    figures.add_argument("names", nargs="+",
+                         help="figure names (fig11, fig14, ...) or 'all'")
+    _add_runner_arguments(figures)
+    figures.add_argument("--json", action="store_true", help="machine-readable output")
+    figures.add_argument("--expect-warm", action="store_true",
+                         help="exit 2 if anything had to be simulated or inspected")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "cache":
+        return _cmd_cache(args)
+    if args.command == "sweep":
+        try:
+            return _cmd_sweep(args)
+        except ValueError as error:  # e.g. malformed --shard
+            print(str(error), file=sys.stderr)
+            return 2
+    if args.command == "figures":
+        return _cmd_figures(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

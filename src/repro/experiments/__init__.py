@@ -12,20 +12,29 @@ from repro.experiments.configs import (
     named_configs,
 )
 from repro.experiments.cache import (
+    CacheVerifyReport,
     ReportCache,
     ResultCache,
     SCHEMA_VERSION,
     config_fingerprint,
 )
-from repro.experiments.runner import ExperimentRunner, SimulationJob, SmtJob, WorkloadRun
+from repro.experiments.runner import (
+    ExperimentRunner,
+    Shard,
+    SimulationJob,
+    SmtJob,
+    WorkloadRun,
+)
 from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments import figures
 from repro.experiments.reporting import format_table, format_percent
 
 __all__ = [
+    "CacheVerifyReport",
     "ReportCache",
     "ResultCache",
     "SCHEMA_VERSION",
+    "Shard",
     "config_fingerprint",
     "SimulationJob",
     "SmtJob",

@@ -35,7 +35,12 @@ one cache instance.
 arms an LRU-by-mtime garbage collector: after every store the cache evicts the
 least-recently-used entries until the directory fits under the cap.  Cache
 hits refresh an entry's mtime, so hot entries survive; a GC pass never touches
-anything while the directory is already within the cap.
+anything while the directory is already within the cap.  A malformed or
+non-positive ``REPRO_CACHE_MAX_MB`` value warns once and leaves the cache
+uncapped instead of raising — the cap is an optimisation, never a correctness
+requirement.  :meth:`JsonDiskCache.verify` scans a (possibly shared) directory
+for corrupt, stale-schema, misplaced and orphaned entries, which backs the
+``repro cache verify`` CLI subcommand.
 """
 
 from __future__ import annotations
@@ -44,10 +49,14 @@ import dataclasses
 import enum
 import hashlib
 import json
+import math
 import os
 import tempfile
+import time
+import warnings
+from dataclasses import field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.analysis.load_inspector import GlobalStableReport
 from repro.pipeline.config import CoreConfig
@@ -73,6 +82,36 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 _FINGERPRINT_EXCLUDE: Dict[str, frozenset] = {
     "IdealOracle": frozenset({"_seen", "loads_covered", "loads_seen"}),
 }
+
+#: Raw ``REPRO_CACHE_MAX_MB`` values already warned about in this process, so a
+#: sweep constructing dozens of cache instances emits the warning exactly once.
+_WARNED_ENV_CAPS: Set[str] = set()
+
+
+def _max_mb_from_env() -> Optional[float]:
+    """The LRU cap from ``REPRO_CACHE_MAX_MB``, leniently parsed.
+
+    A malformed or non-positive value (``"512MB"``, ``"-3"``, ``"nan"``) must
+    not kill every runner and figure harness at cache construction — the cap is
+    an optimisation, not a correctness knob — so invalid values warn once per
+    process and are ignored, leaving the cache uncapped.
+    """
+    raw = os.environ.get(CACHE_MAX_MB_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        value = None
+    if value is None or not math.isfinite(value) or value <= 0:
+        if raw not in _WARNED_ENV_CAPS:
+            _WARNED_ENV_CAPS.add(raw)
+            warnings.warn(
+                f"ignoring invalid {CACHE_MAX_MB_ENV}={raw!r}: expected a "
+                f"positive number of megabytes; cache size cap disabled",
+                RuntimeWarning, stacklevel=3)
+        return None
+    return value
 
 
 def canonical_value(value: object) -> object:
@@ -119,6 +158,48 @@ class CacheStats:
                 "stores": self.stores, "evictions": self.evictions}
 
 
+#: How to decode each entry kind's record body; single-thread result entries
+#: predate the ``kind`` field, so they decode under the implicit kind "result".
+_ENTRY_DECODERS: Dict[str, Callable[[Dict[str, object]], object]] = {
+    "result": lambda payload: SimulationResult.from_dict(payload["result"]),
+    "smt": lambda payload: SmtResult.from_dict(payload["result"]),
+    "report": lambda payload: GlobalStableReport.from_dict(payload["report"]),
+}
+
+
+@dataclasses.dataclass
+class CacheVerifyReport:
+    """Outcome of one full-directory integrity scan (:meth:`JsonDiskCache.verify`).
+
+    ``entries``/``total_bytes`` cover every ``*.json`` file found; ``by_kind``
+    counts only entries that decoded cleanly under the current schema.  The
+    problem buckets are disjoint: an entry lands in the first one that applies.
+    """
+
+    directory: str
+    schema_version: int
+    entries: int = 0
+    total_bytes: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Unreadable / non-JSON files, unknown kinds, undecodable record bodies.
+    corrupt: List[str] = field(default_factory=list)
+    #: Valid entries written under a different SCHEMA_VERSION (benign misses).
+    stale_schema: List[str] = field(default_factory=list)
+    #: Entries whose embedded key or shard directory disagrees with their path.
+    key_mismatch: List[str] = field(default_factory=list)
+    #: Leftover temp files from writers that died mid-store.
+    orphan_temp: List[str] = field(default_factory=list)
+    purged: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing needs operator attention (stale entries are fine)."""
+        return not (self.corrupt or self.key_mismatch or self.orphan_temp)
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
 class JsonDiskCache:
     """Shared store machinery: keyed JSON files, atomic writes, LRU size cap.
 
@@ -139,9 +220,8 @@ class JsonDiskCache:
                 f"cache path {self.directory} exists and is not a directory")
         self.schema_version = schema_version
         if max_mb is None:
-            raw = os.environ.get(CACHE_MAX_MB_ENV, "").strip()
-            max_mb = float(raw) if raw else None
-        if max_mb is not None and max_mb <= 0:
+            max_mb = _max_mb_from_env()
+        elif max_mb <= 0:
             raise ValueError("max_mb must be positive")
         self.max_mb = max_mb
         self.stats = CacheStats()
@@ -221,6 +301,11 @@ class JsonDiskCache:
                     self._size_estimate += path.stat().st_size - replaced_size
                 except OSError:
                     pass
+                if self._size_estimate < 0:
+                    # Incremental bookkeeping drifted — another process evicted
+                    # or overwrote entries in the shared directory.  Resync
+                    # from a full scan rather than skipping needed GC passes.
+                    self._size_estimate = self.total_bytes()
             if self._size_estimate > int(self.max_mb * 1024 * 1024):
                 self.gc()
 
@@ -274,7 +359,10 @@ class JsonDiskCache:
             total -= size
             removed.append(path)
             self.stats.evictions += 1
-        self._size_estimate = total
+        # ``total`` came from a fresh directory scan, so assigning it here
+        # resyncs the incremental estimate after every pass; the clamp guards
+        # against entries another process shrank between scan and unlink.
+        self._size_estimate = max(0, total)
         return removed
 
     def __len__(self) -> int:
@@ -296,6 +384,83 @@ class JsonDiskCache:
             except OSError:
                 pass
         return removed
+
+    #: ``*.tmp`` files younger than this are assumed to belong to a live
+    #: writer mid-store and are never reported (or purged) as orphans.
+    ORPHAN_TEMP_AGE_SECONDS = 3600.0
+
+    def verify(self, purge: bool = False,
+               decode_bodies: bool = True) -> CacheVerifyReport:
+        """Scan every entry in the directory and classify its integrity.
+
+        Each entry must parse as JSON, carry the current schema version, decode
+        through its kind's record type (single-thread result, SMT result or
+        inspector report — all kinds are checked regardless of which cache
+        class runs the scan, since the kinds may share one directory) and live
+        at the path its embedded key dictates.  Leftover ``*.tmp`` files from
+        writers that died between create and rename are reported as orphans —
+        but only once older than :data:`ORPHAN_TEMP_AGE_SECONDS`, so scanning
+        a directory that live writers are storing into neither misreports
+        their in-flight temp files nor (with ``purge``) deletes them mid-write.
+
+        ``decode_bodies=False`` skips the record-body decode (the expensive
+        part on large directories) and checks only envelope, schema and
+        placement — the right trade-off for ``repro cache stats``.
+
+        With ``purge=True`` every corrupt, stale, mismatched or orphaned file
+        is deleted; healthy entries are never touched.
+        """
+        report = CacheVerifyReport(directory=str(self.directory),
+                                   schema_version=self.schema_version)
+        for path, _, size in self.entries():
+            report.entries += 1
+            report.total_bytes += size
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                if not isinstance(payload, dict):
+                    raise ValueError("entry is not a JSON object")
+            except (OSError, ValueError):
+                report.corrupt.append(str(path))
+                continue
+            if payload.get("schema") != self.schema_version:
+                report.stale_schema.append(str(path))
+                continue
+            kind = str(payload.get("kind", "result"))
+            decoder = _ENTRY_DECODERS.get(kind)
+            if decoder is None:
+                report.corrupt.append(str(path))
+                continue
+            if decode_bodies:
+                try:
+                    decoder(payload)
+                except (ValueError, KeyError, TypeError):
+                    report.corrupt.append(str(path))
+                    continue
+            if payload.get("key") != path.stem or path.parent.name != path.stem[:2]:
+                report.key_mismatch.append(str(path))
+                continue
+            report.by_kind[kind] = report.by_kind.get(kind, 0) + 1
+        if self.directory.is_dir():
+            oldest_live = time.time() - self.ORPHAN_TEMP_AGE_SECONDS
+            for path in sorted(self.directory.glob("*/.*.tmp")):
+                try:
+                    if path.stat().st_mtime > oldest_live:
+                        continue
+                except OSError:
+                    continue
+                report.orphan_temp.append(str(path))
+        if purge:
+            for name in (report.corrupt + report.stale_schema
+                         + report.key_mismatch + report.orphan_temp):
+                try:
+                    os.unlink(name)
+                    report.purged += 1
+                except OSError:
+                    pass
+            if report.purged:
+                self._size_estimate = None
+        return report
 
 
 class ResultCache(JsonDiskCache):

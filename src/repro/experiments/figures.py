@@ -13,10 +13,10 @@ expected to hold.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.load_inspector import inspect_trace
-from repro.analysis.stats_utils import box_whisker_summary, geomean
+from repro.analysis.stats_utils import box_whisker_summary, filtered_geomean
 from repro.core.config import ConstableConfig
 from repro.core.ideal import IdealMode, IdealOracle
 from repro.core.storage import storage_overhead_report
@@ -35,7 +35,7 @@ from repro.experiments.configs import (
 from repro.experiments.cache import ReportCache, ResultCache
 from repro.experiments.parallel import ParallelExperimentRunner
 from repro.experiments.reporting import format_table, per_suite_table
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import ConfigLike, ExperimentRunner
 from repro.isa.instruction import AddressingMode
 from repro.pipeline.config import CoreConfig
 from repro.power.cacti import constable_structure_estimates
@@ -46,8 +46,9 @@ from repro.workloads.suites import SUITE_NAMES
 
 def default_runner(per_suite: int = 2, instructions: int = 6000,
                    workers: Optional[int] = None,
-                   cache_dir: Optional[str] = None) -> ExperimentRunner:
-    """The reduced workload set used by the benchmark harnesses.
+                   cache_dir: Optional[str] = None,
+                   suites: Sequence[str] = SUITE_NAMES) -> ExperimentRunner:
+    """The reduced workload set used by the benchmark and CLI harnesses.
 
     Every figure harness accepts either runner flavour: pass ``workers > 1``
     for a :class:`ParallelExperimentRunner` that shards trace generation and
@@ -61,10 +62,11 @@ def default_runner(per_suite: int = 2, instructions: int = 6000,
     report_cache = ReportCache(cache_dir) if cache_dir is not None else None
     if workers is not None and workers > 1:
         return ParallelExperimentRunner(per_suite=per_suite, instructions=instructions,
-                                        cache=cache, report_cache=report_cache,
+                                        suites=suites, cache=cache,
+                                        report_cache=report_cache,
                                         max_workers=workers)
     return ExperimentRunner(per_suite=per_suite, instructions=instructions,
-                            cache=cache, report_cache=report_cache)
+                            suites=suites, cache=cache, report_cache=report_cache)
 
 
 def _ideal_builder(mode: IdealMode, lvp: Optional[str] = None):
@@ -297,10 +299,14 @@ def fig14_speedup_smt2(runner: Optional[ExperimentRunner] = None,
         results = runner.run_smt_config(name, config, max_pairs=max_pairs)
         speedups = []
         for pair, result in results.items():
+            # Degenerate tiny-trace pairs can retire in zero cycles; skip them
+            # rather than dividing by zero or feeding the geomean a zero.
+            if baseline[pair].cycles <= 0 or result.cycles <= 0:
+                continue
             speedup = baseline[pair].cycles / result.cycles
             speedups.append(speedup)
             per_pair.setdefault("+".join(pair), {})[name] = speedup
-        geomeans[name] = geomean(speedups) if speedups else 1.0
+        geomeans[name] = filtered_geomean(speedups)
     rows = [(name, f"{value:.3f}") for name, value in geomeans.items()]
     return {"geomean_speedups": geomeans, "per_pair": per_pair,
             "text": format_table(["config", "SMT2 speedup"], rows,
@@ -646,3 +652,65 @@ def table3_energy_estimates(use_calibrated: bool = True) -> Dict[str, object]:
             "text": format_table(
                 ["structure", "size", "read pJ", "write pJ", "leakage mW", "area mm2"], rows,
                 title="Table 3: Constable structure energy/area estimates")}
+
+
+# ============================================================ registries (CLI)
+
+#: Every figure harness that consumes a shared :class:`ExperimentRunner`,
+#: addressable by name from ``repro figures``; ``all`` expands to this set.
+FIGURE_HARNESSES: Dict[str, Callable[..., Dict[str, object]]] = {
+    "fig3": fig3_global_stable_characterisation,
+    "fig6": fig6_load_port_utilisation,
+    "fig7": fig7_headroom,
+    "fig9": fig9_sld_updates,
+    "fig11": fig11_speedup_nosmt,
+    "fig12": fig12_per_workload,
+    "fig13": fig13_load_categories,
+    "fig14": fig14_speedup_smt2,
+    "fig15": fig15_prior_works,
+    "fig16": fig16_coverage,
+    "fig17": fig17_stable_breakdown,
+    "fig18": fig18_resource_utilisation,
+    "fig19": fig19_power,
+    "fig20": fig20_sensitivity,
+    "fig21": fig21_ordering_violations,
+    "fig22": fig22_amt_invalidation,
+}
+
+#: Harnesses that build their own reduced runners (or none at all); they are
+#: addressable by name but excluded from ``all`` and from warm-cache checks.
+STANDALONE_HARNESSES: Dict[str, Callable[[], Dict[str, object]]] = {
+    "fig23": fig23_fig24_apx_study,
+    "table1": table1_storage_overhead,
+    "table3": table3_energy_estimates,
+}
+
+
+def sweep_configs() -> Dict[str, ConfigLike]:
+    """The single-thread configurations ``repro sweep`` runs by default.
+
+    Covers every configuration the main-result harnesses (figs. 11, 12, 15
+    and 16) consume, so a sweep warmed into a cache directory lets those
+    figures regenerate without a single simulation.
+    """
+    return {
+        "baseline": baseline_config(),
+        "eves": eves_config(),
+        "constable": constable_config(),
+        "eves+constable": eves_constable_config(),
+        "eves+ideal_constable": _ideal_builder(IdealMode.CONSTABLE, lvp="eves"),
+        "elar": elar_config(),
+        "rfp": rfp_config(),
+        "elar+constable": elar_constable_config(),
+        "rfp+constable": rfp_constable_config(),
+    }
+
+
+def sweep_smt_configs() -> Dict[str, ConfigLike]:
+    """The SMT2 configurations ``repro sweep`` runs by default (fig. 14's set)."""
+    return {
+        "baseline": baseline_config(),
+        "eves": eves_config(),
+        "constable": constable_config(),
+        "eves+constable": eves_constable_config(),
+    }

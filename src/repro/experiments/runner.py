@@ -36,15 +36,22 @@ The base class runs every hook serially in-process;
 the hooks to shard work over a process pool.  All hook results merge into
 dictionaries keyed by workload name (or pair), so shard completion order never
 affects an aggregate.
+
+Both ``run_config`` and ``run_smt_config`` additionally accept a
+:class:`Shard` (``K/N``), which restricts execution to a deterministic slice
+of the planned job list — the distribution primitive behind ``repro sweep
+--shard K/N``: N hosts pointed at one shared cache directory cover the full
+suite disjointly, and any subsequent unsharded run folds the per-shard cache
+entries into results bit-identical to a serial unsharded sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from repro.analysis.load_inspector import GlobalStableReport, inspect_trace
-from repro.analysis.stats_utils import geomean
+from repro.analysis.stats_utils import filtered_geomean
 from repro.experiments.cache import ReportCache, ResultCache
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.cpu import OutOfOrderCore
@@ -63,6 +70,48 @@ from repro.workloads.trace import Trace
 #: taking (trace, report) - the latter is needed by oracle-based configurations.
 ConfigLike = Union[CoreConfig, Callable[[], CoreConfig],
                    Callable[[Trace, GlobalStableReport], CoreConfig]]
+
+_Item = TypeVar("_Item")
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One slice (``index`` of ``count``, 1-based) of a distributed sweep.
+
+    Membership is decided by an item's ordinal in the *sorted canonical item
+    list* (all workload names, or all SMT pairs), never by its position in the
+    residual job list — so every host computes the same partition regardless
+    of what its local cache already holds, and N shards sharing one cache
+    directory cover the full suite disjointly.
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValueError("shard count must be at least 1")
+        if not 1 <= self.index <= self.count:
+            raise ValueError(
+                f"shard index must be in 1..{self.count}, got {self.index}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Shard":
+        """Parse the CLI spelling ``K/N`` (1-based shard K of N)."""
+        head, sep, tail = text.partition("/")
+        try:
+            if not sep:
+                raise ValueError(text)
+            return cls(index=int(head), count=int(tail))
+        except ValueError:
+            raise ValueError(
+                f"shard must look like K/N with 1 <= K <= N, got {text!r}") from None
+
+    def select(self, items: Sequence[_Item]) -> List[_Item]:
+        """The members of ``items`` this shard owns, in sorted canonical order."""
+        ordered = sorted(items)
+        return [item for ordinal, item in enumerate(ordered)
+                if ordinal % self.count == self.index - 1]
 
 
 @dataclass
@@ -251,14 +300,9 @@ class ExperimentRunner:
             results[job.workload] = core.run()
         return results
 
-    def run_config(self, name: str, config: ConfigLike,
-                   workload_names: Optional[Sequence[str]] = None) -> Dict[str, SimulationResult]:
-        """Run ``config`` over the workload set; results are cached by ``name``.
-
-        Results are committed atomically: if planning, simulation or cache
-        lookup raises for any workload, no workload's result store is touched.
-        """
-        jobs = self.plan_jobs(name, config, workload_names)
+    def _stage_cached_jobs(self, jobs: Sequence[SimulationJob]
+                           ) -> Tuple[Dict[str, SimulationResult], List[SimulationJob]]:
+        """Split planned jobs into (cache-served results, outstanding jobs)."""
         staged: Dict[str, SimulationResult] = {}
         outstanding: List[SimulationJob] = []
         for job in jobs:
@@ -267,6 +311,34 @@ class ExperimentRunner:
                 staged[job.workload] = cached
             else:
                 outstanding.append(job)
+        return staged, outstanding
+
+    def run_config(self, name: str, config: ConfigLike,
+                   workload_names: Optional[Sequence[str]] = None,
+                   shard: Optional[Shard] = None) -> Dict[str, SimulationResult]:
+        """Run ``config`` over the workload set; results are cached by ``name``.
+
+        The pipeline is plan → filter-by-shard → execute → commit: when a
+        :class:`Shard` is given, only the workloads that shard owns execute
+        (and only their results are committed and returned); N shards sharing
+        one cache directory therefore cover the full suite disjointly, and a
+        later unsharded call folds the per-shard cache entries back into the
+        exact result set the serial runner produces.
+
+        Results are committed atomically: if planning, simulation or cache
+        lookup raises for any workload, no workload's result store is touched.
+        """
+        selected: Optional[set] = None
+        if shard is not None:
+            selected = set(shard.select(list(self.workloads())))
+            if workload_names is not None:
+                selected &= set(workload_names)
+            # Plan only the shard's workloads: materialising configs (oracle
+            # builders, cache-key hashing) for workloads other shards own
+            # would waste (N-1)/N of the planning work on every host.
+            workload_names = selected
+        jobs = self.plan_jobs(name, config, workload_names)
+        staged, outstanding = self._stage_cached_jobs(jobs)
         if outstanding:
             staged.update(self._execute_jobs(outstanding))
         missing = [job.workload for job in jobs if job.workload not in staged]
@@ -282,6 +354,14 @@ class ExperimentRunner:
         if self.cache is not None:
             for job in outstanding:
                 self.cache.put(job.cache_key, staged[job.workload])
+        if selected is not None:
+            # Shard coverage, not residual-plan coverage: workloads this shard
+            # owns that were committed by an earlier call still belong in the
+            # returned slice.  Iterate the workload dict (spec order) so the
+            # returned mapping's order is deterministic, never set order.
+            return {workload_name: run.results[name]
+                    for workload_name, run in workloads.items()
+                    if workload_name in selected and name in run.results}
 
         results: Dict[str, SimulationResult] = {}
         for workload_name, run in workloads.items():
@@ -304,17 +384,23 @@ class ExperimentRunner:
     # ---------------------------------------------------------------- reporting
 
     def speedups(self, config_name: str, baseline_name: str = "baseline") -> Dict[str, float]:
-        """Per-workload speedup of ``config_name`` over ``baseline_name``."""
+        """Per-workload speedup of ``config_name`` over ``baseline_name``.
+
+        Workloads where either run retired in zero cycles (degenerate
+        tiny-trace configurations) are skipped: they have no meaningful ratio
+        and would otherwise crash the geomean aggregations downstream.
+        """
         speedups: Dict[str, float] = {}
         for workload_name, run in self.workloads().items():
             if config_name in run.results and baseline_name in run.results:
-                speedups[workload_name] = (run.results[baseline_name].cycles
-                                           / run.results[config_name].cycles)
+                baseline_cycles = run.results[baseline_name].cycles
+                config_cycles = run.results[config_name].cycles
+                if baseline_cycles > 0 and config_cycles > 0:
+                    speedups[workload_name] = baseline_cycles / config_cycles
         return speedups
 
     def geomean_speedup(self, config_name: str, baseline_name: str = "baseline") -> float:
-        values = list(self.speedups(config_name, baseline_name).values())
-        return geomean(values) if values else 1.0
+        return filtered_geomean(self.speedups(config_name, baseline_name).values())
 
     def speedups_by_suite(self, config_name: str,
                           baseline_name: str = "baseline") -> Dict[str, float]:
@@ -323,10 +409,10 @@ class ExperimentRunner:
         for workload_name, value in self.speedups(config_name, baseline_name).items():
             suite = self.workloads()[workload_name].spec.suite
             by_suite[suite].append(value)
-        summary = {suite: (geomean(values) if values else 1.0)
+        summary = {suite: filtered_geomean(values)
                    for suite, values in by_suite.items()}
         all_values = [v for values in by_suite.values() for v in values]
-        summary["GEOMEAN"] = geomean(all_values) if all_values else 1.0
+        summary["GEOMEAN"] = filtered_geomean(all_values)
         return summary
 
     def metric_ratio(self, config_name: str, metric: Callable[[SimulationResult], float],
@@ -406,17 +492,9 @@ class ExperimentRunner:
                                                   job.config, name=job.config_name)
         return results
 
-    def run_smt_config(self, name: str, config: ConfigLike,
-                       max_pairs: Optional[int] = None) -> Dict[Tuple[str, str], SmtResult]:
-        """Run an SMT2 configuration over the cross-suite pairs.
-
-        Follows the same plan/execute/commit pipeline as :meth:`run_config`:
-        per-pair results are memoised under ``name``, warm cache entries skip
-        simulation entirely, and the commit is atomic — a failure anywhere in
-        the sweep leaves the in-memory store untouched.
-        """
-        pairs = self.smt_pairs(max_pairs)
-        jobs = self.plan_smt_jobs(name, config, max_pairs)
+    def _stage_cached_smt_jobs(self, jobs: Sequence[SmtJob]
+                               ) -> Tuple[Dict[Tuple[str, str], SmtResult], List[SmtJob]]:
+        """Split planned SMT jobs into (cache-served results, outstanding jobs)."""
         staged: Dict[Tuple[str, str], SmtResult] = {}
         outstanding: List[SmtJob] = []
         for job in jobs:
@@ -426,6 +504,27 @@ class ExperimentRunner:
                 staged[job.pair] = cached
             else:
                 outstanding.append(job)
+        return staged, outstanding
+
+    def run_smt_config(self, name: str, config: ConfigLike,
+                       max_pairs: Optional[int] = None,
+                       shard: Optional[Shard] = None) -> Dict[Tuple[str, str], SmtResult]:
+        """Run an SMT2 configuration over the cross-suite pairs.
+
+        Follows the same plan → filter-by-shard → execute → commit pipeline as
+        :meth:`run_config`: per-pair results are memoised under ``name``, warm
+        cache entries skip simulation entirely, a :class:`Shard` restricts the
+        sweep to the pairs that shard owns, and the commit is atomic — a
+        failure anywhere in the sweep leaves the in-memory store untouched.
+        """
+        pairs = self.smt_pairs(max_pairs)
+        if shard is not None:
+            owned = set(shard.select(pairs))
+            pairs = [pair for pair in pairs if pair in owned]
+        jobs = self.plan_smt_jobs(name, config, max_pairs)
+        if shard is not None:
+            jobs = [job for job in jobs if job.pair in owned]
+        staged, outstanding = self._stage_cached_smt_jobs(jobs)
         if outstanding:
             staged.update(self._execute_smt_jobs(outstanding))
         missing = [job.pair for job in jobs if job.pair not in staged]

@@ -1,0 +1,233 @@
+"""Tests for the ``repro`` console entry point and the shard-aware sweep pipeline.
+
+Covers the cache subcommands (stats/gc/clear/verify round-trip, corrupt- and
+orphan-entry detection), shard parsing and partition invariants, the headline
+distribution guarantee — ``sweep --shard 1/2`` + ``--shard 2/2`` into one
+cache directory merge to results bit-identical to a serial unsharded run with
+zero re-simulation — and the warm-figures contract behind ``--expect-warm``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.cache import ResultCache
+from repro.experiments.configs import baseline_config, constable_config
+from repro.experiments.runner import ExperimentRunner, Shard
+from repro.pipeline.cpu import OutOfOrderCore
+
+SUITES = ("Client", "Server")
+INSTRUCTIONS = 800
+
+
+def _runner_args(cache_dir) -> list:
+    return ["--cache-dir", str(cache_dir), "--per-suite", "1",
+            "--instructions", str(INSTRUCTIONS), "--suites", ",".join(SUITES)]
+
+
+def _make_runner(cache_dir=None) -> ExperimentRunner:
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    return ExperimentRunner(per_suite=1, instructions=INSTRUCTIONS,
+                            suites=SUITES, cache=cache)
+
+
+@pytest.fixture()
+def simulation_counter(monkeypatch):
+    calls = {"count": 0}
+    original = OutOfOrderCore.run
+
+    def counted(self):
+        calls["count"] += 1
+        return original(self)
+
+    monkeypatch.setattr(OutOfOrderCore, "run", counted)
+    return calls
+
+
+# -------------------------------------------------------------------- sharding
+
+def test_shard_parse_round_trip():
+    shard = Shard.parse("2/3")
+    assert (shard.index, shard.count) == (2, 3)
+
+
+@pytest.mark.parametrize("text", ["", "3", "0/2", "3/2", "a/b", "1/0", "-1/2", "1/2/3"])
+def test_shard_parse_rejects_malformed_specs(text):
+    with pytest.raises(ValueError):
+        Shard.parse(text)
+
+
+@pytest.mark.parametrize("count", [1, 2, 3, 5, 9])
+def test_shard_select_partitions_disjointly(count):
+    items = [f"wl{i:02d}" for i in range(7)]
+    slices = [Shard(index=k, count=count).select(items) for k in range(1, count + 1)]
+    flattened = [item for part in slices for item in part]
+    assert sorted(flattened) == sorted(items), "shards must union to the full set"
+    assert len(flattened) == len(set(flattened)), "shards must be disjoint"
+
+
+def test_shard_selection_ignores_residual_plan_state(simulation_counter, tmp_path):
+    """Membership depends on the canonical workload list, not on what a host's
+    cache already holds — otherwise two hosts could double- or zero-cover a
+    workload once their warm states diverge."""
+    warm = _make_runner(tmp_path)
+    shard_one = set(warm.run_config("baseline", baseline_config(),
+                                    shard=Shard(1, 2)))
+    # A second sharded call on the same runner plans a residual (empty) job
+    # list; the returned coverage must still be exactly shard one's workloads.
+    again = set(warm.run_config("baseline", baseline_config(), shard=Shard(1, 2)))
+    assert again == shard_one
+    shard_two = set(warm.run_config("baseline", baseline_config(),
+                                    shard=Shard(2, 2)))
+    assert shard_one | shard_two == set(warm.workloads())
+    assert not shard_one & shard_two
+
+
+# ------------------------------------------------------- sweep: merge identity
+
+def test_sharded_sweep_union_is_bit_identical_to_serial(tmp_path, simulation_counter):
+    sweep_args = _runner_args(tmp_path) + ["--configs", "baseline,constable",
+                                           "--smt-configs", "baseline",
+                                           "--max-pairs", "1"]
+    assert main(["sweep", "--shard", "1/2"] + sweep_args) == 0
+    assert main(["sweep", "--shard", "2/2"] + sweep_args) == 0
+    sharded_sims = simulation_counter["count"]
+    assert sharded_sims == 2 * 2 + 1  # two configs x two workloads + one SMT pair
+
+    # Folding the shards: a warm unsharded runner must simulate nothing and
+    # reproduce the serial no-cache reference bit-for-bit.
+    merged = _make_runner(tmp_path)
+    merged_results = {name: merged.run_config(name, config)
+                      for name, config in (("baseline", baseline_config()),
+                                           ("constable", constable_config()))}
+    merged_smt = merged.run_smt_config("baseline", baseline_config(), max_pairs=1)
+    assert simulation_counter["count"] == sharded_sims, \
+        "merging shard results must not re-simulate"
+
+    reference = _make_runner()
+    for name, results in merged_results.items():
+        config = baseline_config() if name == "baseline" else constable_config()
+        assert reference.run_config(name, config) == results
+    assert reference.run_smt_config("baseline", baseline_config(), max_pairs=1) \
+        == merged_smt
+
+
+def test_sweep_rejects_malformed_shard(tmp_path, capsys):
+    args = _runner_args(tmp_path) + ["--configs", "none", "--smt-configs", "none"]
+    assert main(["sweep", "--shard", "3/2"] + args) == 2
+    assert "shard" in capsys.readouterr().err
+
+
+def test_sweep_rejects_unknown_config(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--configs", "no-such-config"] + _runner_args(tmp_path))
+
+
+def test_sweep_merge_with_shard_is_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--merge", "--shard", "1/2"] + _runner_args(tmp_path))
+
+
+# ----------------------------------------------------------- cache subcommands
+
+def test_cache_stats_gc_clear_round_trip(tmp_path, capsys):
+    assert main(["sweep", "--configs", "baseline", "--smt-configs", "none"]
+                + _runner_args(tmp_path)) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path), "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["entries"] == len(SUITES) * 2  # one result + one report each
+    assert stats["by_kind"] == {"result": 2, "report": 2}
+    assert stats["total_bytes"] > 0
+
+    cache = ResultCache(tmp_path)
+    cap_mb = (cache.total_bytes() - 1) / (1024 * 1024)
+    assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                 "--max-mb", str(cap_mb)]) == 0
+    assert "evicted 1" in capsys.readouterr().out
+    assert len(cache) == len(SUITES) * 2 - 1
+
+    assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 2, \
+        "gc without any cap configured is a usage error"
+    assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                 "--max-mb", "-1"]) == 2, \
+        "a non-positive cap is a usage error, not a traceback"
+    assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                 "--max-mb", "nan"]) == 2
+    capsys.readouterr()
+
+    assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+    assert len(cache) == 0
+
+
+def test_cache_verify_flags_corrupt_and_orphan_entries(tmp_path, capsys):
+    assert main(["sweep", "--configs", "baseline", "--smt-configs", "none"]
+                + _runner_args(tmp_path)) == 0
+    capsys.readouterr()
+    assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+
+    cache = ResultCache(tmp_path)
+    corrupt = next(cache.directory.glob("*/*.json"))
+    corrupt.write_text("{not json", encoding="utf-8")
+    orphan = cache.directory / "ab"
+    orphan.mkdir(exist_ok=True)
+    orphan_tmp = orphan / ".deadbeef.tmp"
+    orphan_tmp.write_text("partial", encoding="utf-8")
+    capsys.readouterr()
+
+    # A fresh temp file belongs to a (possibly live) writer mid-store: it must
+    # not be flagged, and therefore must never be purged out from under it.
+    assert main(["cache", "verify", "--cache-dir", str(tmp_path), "--json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["corrupt"] == [str(corrupt)]
+    assert report["orphan_temp"] == []
+
+    aged = ResultCache.ORPHAN_TEMP_AGE_SECONDS + 60
+    os.utime(orphan_tmp, (orphan_tmp.stat().st_mtime - aged,) * 2)
+    assert main(["cache", "verify", "--cache-dir", str(tmp_path), "--json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["orphan_temp"] == [str(orphan_tmp)]
+
+    assert main(["cache", "verify", "--cache-dir", str(tmp_path), "--purge"]) == 0
+    assert not corrupt.exists() and not orphan_tmp.exists()
+    capsys.readouterr()
+    assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+
+
+def test_cache_verify_flags_stale_schema_without_failing(tmp_path, capsys):
+    assert main(["sweep", "--configs", "baseline", "--smt-configs", "none"]
+                + _runner_args(tmp_path)) == 0
+    entry = next(ResultCache(tmp_path).directory.glob("*/*.json"))
+    payload = json.loads(entry.read_text(encoding="utf-8"))
+    payload["schema"] = -1
+    entry.write_text(json.dumps(payload), encoding="utf-8")
+    capsys.readouterr()
+    assert main(["cache", "verify", "--cache-dir", str(tmp_path), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["stale_schema"] == [str(entry)]
+
+
+# --------------------------------------------------------------------- figures
+
+def test_figures_cli_warm_run_performs_zero_simulations(tmp_path, simulation_counter):
+    fig_args = ["figures", "fig11"] + _runner_args(tmp_path) + ["--expect-warm"]
+    assert main(fig_args) == 2, "a cold run must violate --expect-warm"
+    cold_sims = simulation_counter["count"]
+    assert cold_sims > 0
+    assert main(fig_args) == 0, "a warm rerun must satisfy --expect-warm"
+    assert simulation_counter["count"] == cold_sims
+
+
+def test_figures_cli_rejects_unknown_figure(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["figures", "fig999"] + _runner_args(tmp_path))
+
+
+def test_figures_cli_standalone_harness_runs_without_runner(capsys):
+    assert main(["figures", "table1", "--cache-dir", ".unused-cache"]) == 0
+    assert "storage" in capsys.readouterr().out.lower()

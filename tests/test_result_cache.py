@@ -10,7 +10,10 @@ GC (``REPRO_CACHE_MAX_MB``).
 
 from __future__ import annotations
 
+import hashlib
 import json
+import threading
+import warnings
 
 import pytest
 
@@ -318,9 +321,114 @@ def test_env_cap_arms_auto_gc_on_put(tmp_path, monkeypatch):
     assert capped.stats.evictions > 0, "puts over the cap must trigger eviction"
     assert capped.total_bytes() <= int(cap_mb * 1024 * 1024)
 
-    monkeypatch.setenv(CACHE_MAX_MB_ENV, "-3")
+
+@pytest.mark.parametrize("raw", ["512MB", "-3", "0", "nan", "inf"])
+def test_invalid_env_cap_warns_once_and_disables_the_cap(tmp_path, monkeypatch, raw):
+    """A malformed REPRO_CACHE_MAX_MB must not kill runner construction — the
+    cap is an optimisation; the variable is ignored with a single warning."""
+    from repro.experiments import cache as cache_module
+
+    monkeypatch.setattr(cache_module, "_WARNED_ENV_CAPS", set())
+    monkeypatch.setenv(CACHE_MAX_MB_ENV, raw)
+    with pytest.warns(RuntimeWarning, match=CACHE_MAX_MB_ENV):
+        cache = ResultCache(tmp_path)
+    assert cache.max_mb is None
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        again = ResultCache(tmp_path)  # second construction: no second warning
+    assert again.max_mb is None
+
+
+def test_explicit_invalid_max_mb_still_raises(tmp_path):
+    """Leniency covers only the environment; a bad argument is a caller bug."""
     with pytest.raises(ValueError):
-        ResultCache(tmp_path)
+        ResultCache(tmp_path, max_mb=-1)
+    with pytest.raises(ValueError):
+        ResultCache(tmp_path, max_mb=0)
+
+
+# -------------------------------------------------- shared-directory drift
+
+def _synthetic_result(tag: str, padding: int = 0):
+    """A minimal decodable SimulationResult (optionally padded to a size)."""
+    from repro.pipeline.stats import PipelineStats, SimulationResult
+
+    power_events = {f"pad{i}": i for i in range(padding)}
+    return SimulationResult(trace_name=tag, config_name="synthetic", cycles=1,
+                            instructions=1, stats=PipelineStats(),
+                            power_events=power_events)
+
+
+def _synthetic_key(tag: str) -> str:
+    return hashlib.sha256(tag.encode("utf-8")).hexdigest()
+
+
+def test_size_estimate_negative_drift_resyncs_from_disk(tmp_path):
+    """Shrinking overwrites plus a stale estimate drove the incremental
+    bookkeeping negative, which made every future cap comparison meaningless
+    and skipped needed GC passes; drift now resyncs from a full scan."""
+    cache = ResultCache(tmp_path, max_mb=64)
+    key = _synthetic_key("drift")
+    cache.put(key, _synthetic_result("drift", padding=400))
+    # Pretend another process already evicted most of the directory, then
+    # overwrite the big entry with a much smaller one: the delta is negative
+    # and larger than the (stale) estimate.
+    cache._size_estimate = 1
+    cache.put(key, _synthetic_result("drift"))
+    assert cache._size_estimate is not None
+    assert cache._size_estimate >= 0
+    assert cache._size_estimate == cache.total_bytes()
+
+
+def test_gc_pass_resyncs_estimate_after_external_eviction(tmp_path):
+    """A second writer evicting entries behind this cache's back leaves the
+    incremental estimate stale-high; the next GC pass rescans and resyncs."""
+    writer = ResultCache(tmp_path, max_mb=64)
+    for index in range(6):
+        writer.put(_synthetic_key(f"w{index}"), _synthetic_result(f"w{index}"))
+    other = ResultCache(tmp_path)
+    other.gc(max_mb=writer.total_bytes() / 2 / (1024 * 1024))
+    stale = writer._size_estimate
+    assert stale is not None and stale > writer.total_bytes()
+    writer.gc(max_mb=64)
+    assert writer._size_estimate == writer.total_bytes()
+
+
+def test_two_writer_concurrent_gc_stress(tmp_path):
+    """Two capped writers sharing one directory, each storing and GC-ing
+    concurrently: the estimate must never go negative, no operation may raise,
+    and the directory must converge under the cap with only valid entries."""
+    cap_mb = 0.02  # ~20 KiB; entries are ~1 KiB, so GC fires constantly
+    errors = []
+    barrier = threading.Barrier(2)
+
+    def writer(name: str) -> None:
+        cache = ResultCache(tmp_path, max_mb=cap_mb)
+        barrier.wait()
+        try:
+            for index in range(60):
+                cache.put(_synthetic_key(f"{name}-{index}"),
+                          _synthetic_result(f"{name}-{index}", padding=20))
+                if cache._size_estimate is not None and cache._size_estimate < 0:
+                    raise AssertionError("size estimate went negative")
+                if index % 7 == 0:
+                    cache.gc()
+        except BaseException as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [threading.Thread(target=writer, args=(name,)) for name in "AB"]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+
+    survivor = ResultCache(tmp_path, max_mb=cap_mb)
+    survivor.gc()
+    assert survivor.total_bytes() <= int(cap_mb * 1024 * 1024)
+    report = survivor.verify()
+    assert report.ok, report.as_dict()
+    assert survivor._size_estimate == survivor.total_bytes()
 
 
 def test_fingerprint_is_insertion_order_independent():

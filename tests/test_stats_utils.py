@@ -4,7 +4,13 @@ import math
 
 import pytest
 
-from repro.analysis.stats_utils import box_whisker_summary, geomean, speedup, weighted_fraction
+from repro.analysis.stats_utils import (
+    box_whisker_summary,
+    filtered_geomean,
+    geomean,
+    speedup,
+    weighted_fraction,
+)
 
 
 def test_geomean_of_identical_values():
@@ -23,6 +29,17 @@ def test_geomean_empty_returns_one():
 def test_geomean_rejects_non_positive():
     with pytest.raises(ValueError):
         geomean([1.0, 0.0])
+
+
+def test_filtered_geomean_drops_non_positive_values():
+    assert filtered_geomean([1.0, 2.0, 4.0]) == pytest.approx(2.0)
+    assert filtered_geomean([0.0, -3.0, 2.0, 8.0]) == pytest.approx(4.0)
+
+
+def test_filtered_geomean_default_when_nothing_positive():
+    assert filtered_geomean([]) == 1.0
+    assert filtered_geomean([0.0, -1.0]) == 1.0
+    assert filtered_geomean([0.0], default=0.0) == 0.0
 
 
 def test_speedup_ratio():
