@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 
 class PortKind(enum.Enum):
@@ -79,6 +79,33 @@ class ExecutionPorts:
         if kind is PortKind.LOAD:
             self.load_port_uses += 1
         return True
+
+    def skip_idle_cycles(self, cycles: int) -> None:
+        """Account ``cycles`` cycles in which no micro-op issued.
+
+        Used by the event-driven core when it jumps over an idle gap: each
+        skipped cycle would have started with a fresh (fully available) port
+        set and issued nothing, so the only state the per-cycle reference
+        would have changed is the cycle count.  The availability snapshot is
+        left untouched — it already reflects an idle cycle, so the busy-cycle
+        check in the next :meth:`new_cycle` stays a no-op, exactly as it
+        would after stepping the gap cycle by cycle.
+        """
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        self.cycles += cycles
+
+    def next_release_cycle(self) -> Optional[int]:
+        """Earliest future cycle at which a busy port frees up, if any.
+
+        Ports arbitrate per cycle (every :meth:`new_cycle` restores full
+        availability), so there is never a cross-cycle reservation to wait
+        for: the answer is always ``None``.  The query exists so the
+        event-driven scheduler can treat the port model like every other
+        timed resource; a future model with multi-cycle port reservations
+        only has to implement it.
+        """
+        return None
 
     def loads_issued_this_cycle(self) -> int:
         """Number of load ports already claimed in the current cycle."""

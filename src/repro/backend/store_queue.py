@@ -84,3 +84,16 @@ class StoreQueue:
     def unresolved_older_stores(self, load_seq: int) -> List[StoreRecord]:
         """All older stores whose address is still unknown."""
         return [s for s in self._stores if s.seq < load_seq and not s.address_ready]
+
+    def next_release_cycle(self) -> Optional[int]:
+        """Earliest future cycle at which a queue entry's state changes, if any.
+
+        Store records resolve (address/data ready) when the store's execution
+        completes, and drain at retirement — both are events the core's
+        completion heap and retire stage already schedule, so the queue itself
+        never holds a timer of its own and the answer is always ``None``.
+        The query gives the event-driven scheduler a uniform surface over all
+        timed resources; a model adding, say, a store-buffer drain rate would
+        implement it for real.
+        """
+        return None

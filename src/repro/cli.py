@@ -15,11 +15,18 @@ Subcommands:
 * ``repro figures <name ...|all>`` — regenerate paper figure harnesses from
   ``repro.experiments.figures``; warm from a swept cache this performs zero
   simulations and zero inspection passes (enforceable via ``--expect-warm``).
+* ``repro bench`` — wall-clock performance harness for the simulator core:
+  measures every figure family with the per-cycle reference stepper and the
+  event-driven cycle-skipping engine, verifies the two are bit-identical, and
+  writes a ``BENCH_<timestamp>.json`` report (``--quick`` for the reduced CI
+  budgets).  Exits non-zero if the engines diverge.
 
 Every subcommand resolves its cache directory from ``--cache-dir``, then the
-``REPRO_CACHE_DIR`` environment variable, then ``.repro-cache``.  Hit/miss
-counters are per-process: ``sweep`` and ``figures`` print the counters of the
-run they just performed, while ``cache stats`` reports the on-disk state.
+``REPRO_CACHE_DIR`` environment variable, then ``.repro-cache``.  ``sweep``
+and ``figures`` print the hit/miss counters of the run they just performed and
+flush them to the directory's counter ledger on exit, so ``repro cache
+stats`` reports real aggregate hit rates across every process — including the
+other hosts of a ``--shard K/N`` sweep — that shared the directory.
 """
 
 from __future__ import annotations
@@ -31,20 +38,29 @@ import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.bench import (
+    BENCH_FAMILIES,
+    format_bench_table,
+    run_bench,
+    write_bench_report,
+)
 from repro.experiments.cache import (
     CACHE_DIR_ENV,
     DEFAULT_CACHE_DIR,
     CacheVerifyReport,
     ReportCache,
     ResultCache,
+    compact_persisted_stats,
+    persisted_cache_stats,
 )
 from repro.experiments.figures import (
     FIGURE_HARNESSES,
     STANDALONE_HARNESSES,
+    SWEEP_FAMILIES,
     default_runner,
-    sweep_configs,
     sweep_smt_configs,
 )
+from repro.pipeline.cpu import CORE_ENGINES
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import ExperimentRunner, Shard
 from repro.workloads.suites import SUITE_NAMES
@@ -118,12 +134,34 @@ def _print_verify_report(report: CacheVerifyReport, as_json: bool) -> None:
 
 # ------------------------------------------------------------------- commands
 
+def _print_persisted_counters(counters: Dict[str, object]) -> None:
+    total = counters["total"]
+    lookups = total["hits"] + total["misses"]
+    rate = f"{total['hits'] / lookups * 100:.1f}%" if lookups else "n/a"
+    print(f"persisted counters ({counters['ledgers']} ledgers, all processes):")
+    for cache_name in sorted(counters["by_cache"]):
+        bucket = counters["by_cache"][cache_name]
+        print(f"  {cache_name:<14}: hits {bucket['hits']} misses {bucket['misses']} "
+              f"stores {bucket['stores']} evictions {bucket['evictions']}")
+    print(f"  {'total':<14}: hits {total['hits']} misses {total['misses']} "
+          f"stores {total['stores']} evictions {total['evictions']} "
+          f"(hit rate {rate})")
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(_resolve_cache_dir(args.cache_dir))
     if args.cache_command == "stats":
         # Envelope-only scan: counts and bytes should stay cheap on large
         # directories; `cache verify` is the full-decode integrity pass.
-        _print_verify_report(cache.verify(decode_bodies=False), args.json)
+        report = cache.verify(decode_bodies=False)
+        counters = persisted_cache_stats(cache.directory)
+        if args.json:
+            payload = report.as_dict()
+            payload["persisted_counters"] = counters
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            _print_verify_report(report, as_json=False)
+            _print_persisted_counters(counters)
         return 0
     if args.cache_command == "gc":
         max_mb = args.max_mb if args.max_mb is not None else cache.max_mb
@@ -136,6 +174,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         removed = cache.gc(max_mb=max_mb)
+        # Flush the evictions to the directory ledger so `cache stats` on any
+        # host counts manual GC passes, not just runner auto-GC ones — then
+        # fold the accumulated per-run ledgers so their count stays bounded.
+        cache.persist_stats()
+        compact_persisted_stats(cache.directory)
         print(f"evicted {len(removed)} entries; "
               f"{len(cache)} remain ({_human_bytes(cache.total_bytes())})")
         return 0
@@ -166,11 +209,30 @@ def _parse_config_subset(raw: Optional[str], available: Dict[str, object],
     return {name: available[name] for name in names}
 
 
+def _sweep_families(raw: str) -> Dict[str, object]:
+    """Merge the selected sweep families into one name->config dictionary."""
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    # Validate before expanding 'all' so a typo next to it still errors.
+    unknown = [name for name in names
+               if name != "all" and name not in SWEEP_FAMILIES]
+    if unknown:
+        raise SystemExit(
+            f"unknown sweep families {unknown}; available: "
+            f"{sorted(SWEEP_FAMILIES)} or 'all'")
+    if "all" in names:
+        names = list(SWEEP_FAMILIES)
+    merged: Dict[str, object] = {}
+    for name in names:
+        merged.update(SWEEP_FAMILIES[name]())
+    return merged
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     shard = Shard.parse(args.shard) if args.shard else None
     if shard is not None and args.merge:
         raise SystemExit("--merge folds every shard's results; drop --shard")
-    configs = _parse_config_subset(args.configs, sweep_configs(), "configs")
+    configs = _parse_config_subset(args.configs, _sweep_families(args.families),
+                                   "configs")
     smt_configs = _parse_config_subset(args.smt_configs, sweep_smt_configs(),
                                        "SMT configs")
     with _build_runner(args) as runner:
@@ -245,6 +307,28 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    engines = [name.strip() for name in args.engines.split(",") if name.strip()]
+    families = None
+    if args.families:
+        families = [name.strip() for name in args.families.split(",")
+                    if name.strip()]
+    try:
+        payload = run_bench(quick=args.quick, engines=engines, families=families,
+                            instructions=args.instructions)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(format_bench_table(payload))
+    path = write_bench_report(payload, output=args.output)
+    print(f"wrote {path}")
+    if not payload["identical"]:
+        print("ENGINE DIVERGENCE: at least one workload/config simulated "
+              "differently under the cycle and event engines", file=sys.stderr)
+        return 1
+    return 0
+
+
 # --------------------------------------------------------------------- parser
 
 def build_parser() -> argparse.ArgumentParser:
@@ -277,6 +361,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_arguments(sweep)
     sweep.add_argument("--shard", default=None, metavar="K/N",
                        help="run only shard K of N (1-based)")
+    sweep.add_argument("--families", default="main",
+                       help="comma-separated sweep families "
+                            f"({', '.join(sorted(SWEEP_FAMILIES))}) or 'all' "
+                            "(default: main)")
     sweep.add_argument("--configs", default=None,
                        help="comma-separated single-thread config subset, or 'none'")
     sweep.add_argument("--smt-configs", default=None,
@@ -296,6 +384,23 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--json", action="store_true", help="machine-readable output")
     figures.add_argument("--expect-warm", action="store_true",
                          help="exit 2 if anything had to be simulated or inspected")
+
+    bench = commands.add_parser(
+        "bench", help="measure simulator wall-clock performance per figure "
+                      "family and write a BENCH_<timestamp>.json report")
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced instruction budgets (CI perf-smoke mode)")
+    bench.add_argument("--families", default=None,
+                       help="comma-separated family subset "
+                            f"(default: all of {', '.join(BENCH_FAMILIES)})")
+    bench.add_argument("--engines", default="cycle,event",
+                       help="comma-separated engines to measure "
+                            f"(available: {', '.join(CORE_ENGINES)})")
+    bench.add_argument("--instructions", type=int, default=None,
+                       help="override the per-family instruction budgets")
+    bench.add_argument("--output", default=None,
+                       help="report path (default: BENCH_<timestamp>.json in "
+                            "the working directory)")
     return parser
 
 
@@ -311,6 +416,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
     if args.command == "figures":
         return _cmd_figures(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

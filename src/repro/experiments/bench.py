@@ -1,0 +1,335 @@
+"""``repro bench`` — wall-clock performance harness for the simulator core.
+
+The harness establishes (and keeps extending) the repo's performance
+trajectory: every run measures, per *figure family*, how fast the simulator
+itself executes — wall seconds, simulated instructions per second, simulated
+cycles per second — for each execution engine (the ``"cycle"`` per-cycle
+reference stepper and the default ``"event"`` cycle-skipping engine), verifies
+the engines produce bit-identical :class:`SimulationResult` records, and
+writes everything to a ``BENCH_<timestamp>.json`` report.
+
+Families mirror how the paper's figures load the simulator:
+
+* ``memory_bound`` — pointer-chasing and random-access workloads whose DRAM
+  stalls dominate (the worst case for the per-cycle stepper and the headline
+  win for cycle skipping);
+* ``speedup`` — the fig. 11/12/15/16 single-thread speedup sweeps over
+  suite workloads;
+* ``smt`` — a fig. 14-style SMT2 pair;
+* ``sensitivity`` — fig. 13/20-style width/depth/category variants.
+
+**Report schema** (``BENCH_<UTC timestamp>.json``, ``schema`` = 1)::
+
+    {
+      "schema": 1,
+      "created_utc": "YYYY-mm-ddTHH:MM:SSZ",
+      "quick": bool,                  # --quick run (reduced budgets)
+      "engines": ["cycle", "event"],
+      "platform": {"python": "...", "machine": "...", "system": "..."},
+      "families": {
+        "<family>": {
+          "instructions": <per-workload budget>,
+          "jobs": [                   # one entry per (workload, config)
+            {"workload": "...", "config": "...", "smt": bool,
+             "instructions": N, "cycles": N,
+             "engines": {"<engine>": {"wall_seconds": s,
+                                       "instructions_per_second": ips,
+                                       "cycles_per_second": cps}},
+             "skipped_idle_cycles": N,   # event engine
+             "stepped_cycles": N,        # event engine
+             "identical": bool}, ...],
+          "totals": {"<engine>": {"wall_seconds": s,
+                                   "instructions_per_second": ips,
+                                   "cycles_per_second": cps}},
+          "speedup": cycle_wall / event_wall,
+          "skipped_cycle_fraction": skipped / (skipped + stepped),
+          "identical": bool},
+        ...},
+      "speedup_geomean": geomean of family speedups,
+      "identical": bool               # every job bit-identical across engines
+    }
+
+``speedup``/``speedup_geomean`` are only present when both engines ran.  The
+CI perf-smoke job runs ``repro bench --quick`` and uploads the report as an
+artifact — record-only for wall-clock numbers (shared runners are noisy), but
+the run fails loudly if any engine pair diverges, so the harness doubles as an
+end-to-end differential check.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.stats_utils import filtered_geomean
+from repro.experiments.configs import (
+    baseline_config,
+    constable_config,
+    eves_constable_config,
+)
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.cpu import CORE_ENGINES, OutOfOrderCore
+from repro.pipeline.smt import SMT_SECOND_THREAD_BASE_PC
+from repro.workloads.generator import DEFAULT_BASE_PC, generate_trace
+from repro.workloads.suites import WorkloadSpec, get_workload_spec
+from repro.workloads.trace import Trace
+
+#: Version of the BENCH_*.json report layout.
+BENCH_SCHEMA_VERSION = 1
+
+#: Report filename pattern; the timestamp is UTC.
+BENCH_FILE_FORMAT = "BENCH_%Y%m%dT%H%M%SZ.json"
+
+
+@dataclass(frozen=True)
+class BenchJob:
+    """One measured simulation: workload spec(s) × configuration."""
+
+    workload: str
+    config_name: str
+    config: CoreConfig
+    specs: Tuple[WorkloadSpec, ...]
+
+    @property
+    def smt(self) -> bool:
+        return len(self.specs) > 1
+
+
+def _membound_specs() -> List[WorkloadSpec]:
+    """Purpose-built memory-bound workloads (footprints well past the LLC)."""
+    return [
+        WorkloadSpec(
+            name="membound_chase", suite="Bench", seed=11,
+            kernels=[("pointer_chase", {"inner_iterations": 16,
+                                        "ring_nodes": 1 << 16}),
+                     ("random_access", {"inner_iterations": 8,
+                                        "region_words": 1 << 20})],
+            description="dependent pointer chase + random access over 8 MiB"),
+        WorkloadSpec(
+            name="membound_scatter", suite="Bench", seed=23,
+            kernels=[("random_access", {"inner_iterations": 12,
+                                        "region_words": 1 << 21}),
+                     ("streaming", {"inner_iterations": 6,
+                                    "region_words": 1 << 19})],
+            description="random access over 16 MiB + LLC-sized streaming"),
+    ]
+
+
+def _family_memory_bound() -> List[BenchJob]:
+    jobs = []
+    for spec in _membound_specs():
+        for config_name, config in (("baseline", baseline_config()),
+                                    ("constable", constable_config())):
+            jobs.append(BenchJob(spec.name, config_name, config, (spec,)))
+    return jobs
+
+
+def _family_speedup() -> List[BenchJob]:
+    jobs = []
+    for workload in ("client_00", "ispec_00"):
+        spec = get_workload_spec(workload)
+        for config_name, config in (("baseline", baseline_config()),
+                                    ("constable", constable_config()),
+                                    ("eves+constable", eves_constable_config())):
+            jobs.append(BenchJob(workload, config_name, config, (spec,)))
+    return jobs
+
+
+def _family_smt() -> List[BenchJob]:
+    first = get_workload_spec("client_00")
+    second = get_workload_spec("server_00")
+    return [BenchJob("client_00+server_00", config_name, config, (first, second))
+            for config_name, config in (("baseline", baseline_config()),
+                                        ("constable", constable_config()))]
+
+
+def _family_sensitivity() -> List[BenchJob]:
+    spec = get_workload_spec("client_00")
+    return [
+        BenchJob("client_00", "constable_w3",
+                 constable_config().with_load_width(3), (spec,)),
+        BenchJob("client_00", "constable_d2.0",
+                 constable_config().with_depth_scale(2.0), (spec,)),
+    ]
+
+
+#: Family registry: name -> (job builder, full budget, quick budget).
+BENCH_FAMILIES: Dict[str, Tuple[Callable[[], List[BenchJob]], int, int]] = {
+    "memory_bound": (_family_memory_bound, 20_000, 4_000),
+    "speedup": (_family_speedup, 6_000, 1_500),
+    "smt": (_family_smt, 3_000, 1_000),
+    "sensitivity": (_family_sensitivity, 6_000, 1_500),
+}
+
+
+def _traces_for(job: BenchJob, instructions: int,
+                memo: Dict[Tuple[str, int, int], Trace]) -> List[Trace]:
+    """Generate (and memoise) the job's traces; generation is not timed."""
+    traces = []
+    for position, spec in enumerate(job.specs):
+        base_pc = DEFAULT_BASE_PC if position == 0 else SMT_SECOND_THREAD_BASE_PC
+        key = (spec.name, instructions, base_pc)
+        trace = memo.get(key)
+        if trace is None:
+            trace = generate_trace(spec, num_instructions=instructions,
+                                   base_pc=base_pc)
+            memo[key] = trace
+        traces.append(trace)
+    return traces
+
+
+def _rates(wall_seconds: float, instructions: int, cycles: int) -> Dict[str, float]:
+    safe_wall = max(wall_seconds, 1e-9)
+    return {
+        "wall_seconds": wall_seconds,
+        "instructions_per_second": instructions / safe_wall,
+        "cycles_per_second": cycles / safe_wall,
+    }
+
+
+def run_bench(quick: bool = False,
+              engines: Sequence[str] = ("cycle", "event"),
+              families: Optional[Sequence[str]] = None,
+              instructions: Optional[int] = None) -> Dict[str, object]:
+    """Measure every requested family with every requested engine.
+
+    ``instructions`` overrides the per-family budgets (used by tests); the
+    normal entry points pass None and get the full or ``--quick`` budgets.
+    Returns the report payload described in the module docstring.
+    """
+    for engine in engines:
+        if engine not in CORE_ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected {CORE_ENGINES}")
+    if not engines:
+        raise ValueError("at least one engine is required")
+    if instructions is not None and instructions <= 0:
+        raise ValueError("instructions must be positive")
+    selected = list(families) if families is not None else list(BENCH_FAMILIES)
+    unknown = sorted(set(selected) - set(BENCH_FAMILIES))
+    if unknown:
+        raise ValueError(
+            f"unknown bench families {unknown}; available: {list(BENCH_FAMILIES)}")
+
+    trace_memo: Dict[Tuple[str, int, int], Trace] = {}
+    family_reports: Dict[str, Dict[str, object]] = {}
+    all_identical = True
+    for family in selected:
+        builder, full_budget, quick_budget = BENCH_FAMILIES[family]
+        budget = (instructions if instructions is not None
+                  else (quick_budget if quick else full_budget))
+        jobs = builder()
+        job_reports: List[Dict[str, object]] = []
+        totals = {engine: {"wall_seconds": 0.0, "instructions": 0, "cycles": 0}
+                  for engine in engines}
+        family_identical = True
+        family_skipped = 0
+        family_stepped = 0
+        for job in jobs:
+            traces = _traces_for(job, budget, trace_memo)
+            results = {}
+            record: Dict[str, object] = {
+                "workload": job.workload, "config": job.config_name,
+                "smt": job.smt, "engines": {},
+            }
+            for engine in engines:
+                start = time.perf_counter()
+                core = OutOfOrderCore(job.config, traces, name=job.config_name,
+                                      engine=engine)
+                result = core.run()
+                wall = time.perf_counter() - start
+                results[engine] = result
+                record["engines"][engine] = _rates(wall, result.instructions,
+                                                   result.cycles)
+                totals[engine]["wall_seconds"] += wall
+                totals[engine]["instructions"] += result.instructions
+                totals[engine]["cycles"] += result.cycles
+                if engine == "event":
+                    record["skipped_idle_cycles"] = core.skipped_idle_cycles
+                    record["stepped_cycles"] = core.stepped_cycles
+                    family_skipped += core.skipped_idle_cycles
+                    family_stepped += core.stepped_cycles
+            record["instructions"] = results[engines[0]].instructions
+            record["cycles"] = results[engines[0]].cycles
+            reference = results[engines[0]].to_dict()
+            identical = all(results[engine].to_dict() == reference
+                            for engine in engines[1:])
+            record["identical"] = identical
+            family_identical &= identical
+            job_reports.append(record)
+        report: Dict[str, object] = {
+            "instructions": budget,
+            "jobs": job_reports,
+            "totals": {engine: _rates(values["wall_seconds"],
+                                      values["instructions"], values["cycles"])
+                       for engine, values in totals.items()},
+            "identical": family_identical,
+        }
+        if "cycle" in engines and "event" in engines:
+            event_wall = max(totals["event"]["wall_seconds"], 1e-9)
+            report["speedup"] = totals["cycle"]["wall_seconds"] / event_wall
+        if family_stepped or family_skipped:
+            report["skipped_cycle_fraction"] = (
+                family_skipped / max(1, family_skipped + family_stepped))
+        family_reports[family] = report
+        all_identical &= family_identical
+
+    payload: Dict[str, object] = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": quick,
+        "engines": list(engines),
+        "platform": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "families": family_reports,
+        "identical": all_identical,
+    }
+    speedups = [report["speedup"] for report in family_reports.values()
+                if "speedup" in report]
+    if speedups:
+        payload["speedup_geomean"] = filtered_geomean(speedups)
+    return payload
+
+
+def write_bench_report(payload: Dict[str, object],
+                       output: Optional[Union[str, Path]] = None,
+                       directory: Union[str, Path] = ".") -> Path:
+    """Write the report; default name ``BENCH_<UTC timestamp>.json``."""
+    if output is None:
+        output = Path(directory) / time.strftime(BENCH_FILE_FORMAT, time.gmtime())
+    path = Path(output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def format_bench_table(payload: Dict[str, object]) -> str:
+    """A human-readable summary of one bench payload."""
+    from repro.experiments.reporting import format_table
+
+    engines = payload["engines"]
+    primary = "event" if "event" in engines else engines[0]
+    rows = []
+    for family, report in payload["families"].items():
+        totals = report["totals"][primary]
+        rows.append((
+            family,
+            f"{totals['wall_seconds']:.2f}s",
+            f"{totals['instructions_per_second'] / 1000.0:.1f}k",
+            f"{report['speedup']:.2f}x" if "speedup" in report else "-",
+            f"{report.get('skipped_cycle_fraction', 0.0) * 100:.1f}%",
+            "yes" if report["identical"] else "NO",
+        ))
+    title = ("repro bench (quick)" if payload.get("quick") else "repro bench")
+    return format_table(
+        ["family", f"{primary} wall", "sim kinstr/s", "speedup vs cycle",
+         "cycles skipped", "bit-identical"],
+        rows, title=title)

@@ -714,3 +714,45 @@ def sweep_smt_configs() -> Dict[str, ConfigLike]:
         "constable": constable_config(),
         "eves+constable": eves_constable_config(),
     }
+
+
+def sensitivity_sweep_configs(load_widths: Sequence[int] = (3, 4, 5, 6),
+                              depth_scales: Sequence[float] = (1.0, 2.0, 4.0)
+                              ) -> Dict[str, ConfigLike]:
+    """The sensitivity-sweep configuration families (figs. 13 and 20).
+
+    Covers every configuration :func:`fig13_load_categories` and
+    :func:`fig20_sensitivity` consume — the addressing-mode-restricted
+    Constable variants, and the load-width / pipeline-depth grids — under the
+    exact names and contents those harnesses use, so ``repro sweep --families
+    sensitivity`` warmed into a shared cache directory lets both figures
+    regenerate without a single simulation.  ``baseline`` is included because
+    every speedup in those figures is computed against it.
+    """
+    configs: Dict[str, ConfigLike] = {"baseline": baseline_config()}
+    categories = {
+        "pc_relative_only": frozenset({AddressingMode.PC_RELATIVE}),
+        "stack_relative_only": frozenset({AddressingMode.STACK_RELATIVE}),
+        "register_relative_only": frozenset({AddressingMode.REG_RELATIVE}),
+    }
+    for name, modes in categories.items():
+        configs[name] = constable_config(
+            constable=constable_engine_config(eliminate_addressing_modes=modes))
+    configs["all_loads"] = constable_config()
+    for width in load_widths:
+        configs[f"baseline_w{width}"] = baseline_config().with_load_width(width)
+        configs[f"constable_w{width}"] = constable_config().with_load_width(width)
+    for scale in depth_scales:
+        configs[f"baseline_d{scale}"] = baseline_config().with_depth_scale(scale)
+        configs[f"constable_d{scale}"] = constable_config().with_depth_scale(scale)
+    return configs
+
+
+#: Named single-thread sweep families ``repro sweep --families`` selects from:
+#: ``main`` feeds the headline-result harnesses (figs. 11/12/15/16), and
+#: ``sensitivity`` feeds the fig. 13/20 sweeps.  Families may overlap (both
+#: contain ``baseline``) with identical contents, so merging them is safe.
+SWEEP_FAMILIES: Dict[str, Callable[[], Dict[str, ConfigLike]]] = {
+    "main": sweep_configs,
+    "sensitivity": sensitivity_sweep_configs,
+}

@@ -162,10 +162,16 @@ class ParallelExperimentRunner(ExperimentRunner):
         return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down; the runner may be reused (pool respawns)."""
+        """Shut the worker pool down; the runner may be reused (pool respawns).
+
+        Also flushes cache counters to the directory ledger (the parent owns
+        all cache I/O — workers only simulate — so the parent-side flush
+        captures the whole run).
+        """
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        super().close()
 
     def _collect(self, futures: Sequence[Future]) -> List[object]:
         """Await all futures; on the first failure cancel the rest and raise."""

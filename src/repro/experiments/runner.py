@@ -373,7 +373,16 @@ class ExperimentRunner:
     # ---------------------------------------------------------------- lifecycle
 
     def close(self) -> None:
-        """Release executor resources (no-op for the serial runner)."""
+        """Release executor resources and flush cache counters to the ledger.
+
+        The flush is what makes ``repro cache stats`` see this process's
+        hit/miss counters after the run is gone; it writes only deltas, so
+        closing a runner repeatedly (context manager plus explicit call)
+        never double-counts.
+        """
+        for cache in (self.cache, self.report_cache):
+            if cache is not None:
+                cache.persist_stats()
 
     def __enter__(self) -> "ExperimentRunner":
         return self

@@ -94,11 +94,19 @@ class MemOperand:
 
 
 class StaticInstruction:
-    """One program location: opcode, operands, and control-flow targets."""
+    """One program location: opcode, operands, and control-flow targets.
+
+    Decode-time facts (``is_load``/``is_store``/``is_branch``, the source
+    register set, the addressing mode) are computed once at construction:
+    the out-of-order core consults them for every dynamic instance, and the
+    operands they derive from are final after construction (only
+    ``branch_target`` is patched later, by label resolution).
+    """
 
     __slots__ = (
         "pc", "opclass", "dest", "srcs", "alu_op", "imm", "mem",
         "branch_target", "cond", "size",
+        "is_load", "is_store", "is_branch", "_source_registers", "_addressing_mode",
     )
 
     def __init__(self, pc: int, opclass: OpClass, dest: Optional[int] = None,
@@ -119,18 +127,17 @@ class StaticInstruction:
         self.branch_target = branch_target
         self.cond = cond
         self.size = size
-
-    @property
-    def is_load(self) -> bool:
-        return self.opclass is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.opclass is OpClass.STORE
-
-    @property
-    def is_branch(self) -> bool:
-        return self.opclass in CONTROL_OP_CLASSES
+        self.is_load = opclass is OpClass.LOAD
+        self.is_store = opclass is OpClass.STORE
+        self.is_branch = opclass in CONTROL_OP_CLASSES
+        regs = list(self.srcs)
+        if mem is not None:
+            for r in mem.address_registers():
+                if r not in regs:
+                    regs.append(r)
+        self._source_registers = tuple(regs)
+        self._addressing_mode = (AddressingMode.NONE if mem is None
+                                 else mem.addressing_mode())
 
     def source_registers(self) -> Tuple[int, ...]:
         """All architectural registers this instruction reads.
@@ -138,18 +145,11 @@ class StaticInstruction:
         For a load, these are exactly the address-source registers that
         Constable's Register Monitor Table has to watch (Condition 1, §5).
         """
-        regs = list(self.srcs)
-        if self.mem is not None:
-            for r in self.mem.address_registers():
-                if r not in regs:
-                    regs.append(r)
-        return tuple(regs)
+        return self._source_registers
 
     def addressing_mode(self) -> AddressingMode:
         """Addressing mode of the memory operand (``NONE`` for non-memory ops)."""
-        if self.mem is None:
-            return AddressingMode.NONE
-        return self.mem.addressing_mode()
+        return self._addressing_mode
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (f"StaticInstruction(pc={self.pc:#x}, {self.opclass.value}, "
@@ -157,11 +157,18 @@ class StaticInstruction:
 
 
 class DynamicInstruction:
-    """One executed instance of a static instruction, as seen by the functional VM."""
+    """One executed instance of a static instruction, as seen by the functional VM.
+
+    The static decode (``pc``/``opclass``/``is_load``/``is_store``/``is_branch``)
+    is flattened onto the dynamic record at construction so the simulator's hot
+    loop reads plain slot attributes instead of chasing ``.static.*`` chains on
+    every cycle.
+    """
 
     __slots__ = (
         "seq", "static", "address", "load_value", "store_value",
         "branch_taken", "next_pc", "thread_id",
+        "pc", "opclass", "is_load", "is_store", "is_branch",
     )
 
     def __init__(self, seq: int, static: StaticInstruction, address: int = 0,
@@ -175,26 +182,11 @@ class DynamicInstruction:
         self.branch_taken = branch_taken
         self.next_pc = next_pc
         self.thread_id = thread_id
-
-    @property
-    def pc(self) -> int:
-        return self.static.pc
-
-    @property
-    def opclass(self) -> OpClass:
-        return self.static.opclass
-
-    @property
-    def is_load(self) -> bool:
-        return self.static.opclass is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.static.opclass is OpClass.STORE
-
-    @property
-    def is_branch(self) -> bool:
-        return self.static.is_branch
+        self.pc = static.pc
+        self.opclass = static.opclass
+        self.is_load = static.is_load
+        self.is_store = static.is_store
+        self.is_branch = static.is_branch
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (f"DynamicInstruction(seq={self.seq}, pc={self.pc:#x}, "

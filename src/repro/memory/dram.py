@@ -10,7 +10,7 @@ and tRP+tRCD+tCAS for row misses, in core cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 
 @dataclass
@@ -59,3 +59,15 @@ class DramModel:
 
     def accesses(self) -> int:
         return self.row_hits + self.row_misses
+
+    def next_ready_cycle(self) -> Optional[int]:
+        """Earliest future cycle at which DRAM state changes on its own, if any.
+
+        This model is latency-only: bank/row state mutates exclusively when an
+        access is performed, and the returned latency folds every queueing
+        effect into the access itself — nothing becomes ready at a wall-clock
+        time between accesses, so the answer is always ``None``.  The query is
+        part of the next-ready surface the event-driven core schedules over; a
+        refresh- or bank-busy-modelling DRAM would return its next timer here.
+        """
+        return None

@@ -126,6 +126,20 @@ class MemoryHierarchy:
         self.l2.invalidate(address)
         self.llc.invalidate(address)
 
+    def next_ready_cycle(self) -> Optional[int]:
+        """Earliest future cycle at which the hierarchy changes state on its own.
+
+        The caches and prefetchers mutate only when an access drives them, and
+        every access latency is charged up front at the access — there are no
+        in-flight MSHR-style transactions completing at a later wall-clock
+        time.  The only component that could own a timer is DRAM, so this
+        simply forwards its (currently always-``None``) answer.  The
+        event-driven core folds this query into its next-interesting-cycle
+        computation; a hierarchy gaining MSHRs or a busy-until DRAM only has
+        to return its earliest timer here to keep cycle skipping exact.
+        """
+        return self.dram.next_ready_cycle()
+
     # -------------------------------------------------------------------- stats
 
     def l1d_accesses(self) -> int:

@@ -10,11 +10,42 @@ the value Constable supplied against the functional trace.
 Functional correctness always comes from the trace; the simulator only decides
 *when* things happen - except for eliminated / ideally-handled loads, whose
 values come from Constable's structures and are therefore checked at retire.
+
+Two execution engines drive the same stage pipeline:
+
+* ``"cycle"`` — the reference stepper: every cycle runs every stage, idle or
+  not.
+* ``"event"`` (default) — event-driven cycle skipping: after a cycle in which
+  *no* stage made progress, the core computes the next "interesting" cycle
+  (minimum over the completion-heap head, each thread's front-end refill
+  timer, and the next-ready queries of the memory hierarchy, execution ports
+  and store queues) and advances ``self.cycle`` straight to it instead of
+  ticking through the idle gap.  Long memory stalls — the dominant cost of
+  the paper's memory-bound workloads — collapse from hundreds of no-op stage
+  sweeps into one jump.
+
+The two engines are bit-identical by construction.  A zero-progress cycle
+leaves the whole machine state untouched except for two per-cycle accounting
+counters (the port model's cycle count and the SLD-updates-per-cycle
+histogram's zero bucket), which the skip replays in bulk.  No stage can
+become able to make progress *during* an idle gap except through one of the
+events the skip target minimises over: source operands only ever become ready
+at completion-heap pops, retire waits on the heap too, rename waits on
+resources freed by retire/flush, and fetch waits on the refill timer or a
+branch resolution (again the heap).  One stall shape is excluded from
+skipping outright: a load whose rename attempt finds the reservation station
+full only *after* running its side-effecting mechanisms (Constable SLD
+lookup, LVP predict, RFP prefetch) — the reference repeats those effects
+every stalled cycle, so such cycles step one by one until the RS drains.
+The differential tests in ``tests/test_event_driven.py`` and the golden
+fixtures pin this equivalence.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+import warnings
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -43,6 +74,40 @@ from repro.workloads.trace import Trace
 #: The simulated core's identifier in the coherence directory.
 OWN_CORE = 0
 
+#: Environment variable selecting the default execution engine.
+CORE_ENGINE_ENV = "REPRO_CORE_ENGINE"
+
+#: Supported execution engines: event-driven cycle skipping (default) and the
+#: per-cycle reference stepper it is differentially tested against.
+CORE_ENGINES = ("event", "cycle")
+
+
+#: Unknown ``REPRO_CORE_ENGINE`` values already warned about in this process.
+_WARNED_ENGINE_VALUES: Set[str] = set()
+
+
+def default_engine() -> str:
+    """The engine used when a core is built without an explicit choice.
+
+    ``REPRO_CORE_ENGINE=cycle`` forces the per-cycle reference stepper
+    process-wide (including pool workers, which inherit the environment) —
+    the differential tests and the ``repro bench`` harness use this to run
+    both engines over identical sweeps.  Unknown values fall back to the
+    event-driven engine rather than failing an entire sweep over a typo, but
+    warn once per process — a typo here would otherwise turn a differential
+    run into a vacuous event-vs-event comparison.
+    """
+    raw = os.environ.get(CORE_ENGINE_ENV, "").strip().lower()
+    if raw and raw not in CORE_ENGINES:
+        if raw not in _WARNED_ENGINE_VALUES:
+            _WARNED_ENGINE_VALUES.add(raw)
+            warnings.warn(
+                f"ignoring unknown {CORE_ENGINE_ENV}={raw!r}; using 'event' "
+                f"(expected one of {CORE_ENGINES})",
+                RuntimeWarning, stacklevel=2)
+        return "event"
+    return raw or "event"
+
 
 class GoldenCheckError(AssertionError):
     """Raised when a retired load's value/address disagrees with the functional trace."""
@@ -56,7 +121,9 @@ class _ThreadState:
         self.thread_id = thread_id
         self.trace = trace
         self.instructions = trace.instructions
-        self.snoops = list(trace.snoops)
+        # The trace's snoop sequence is an immutable tuple: share it and walk
+        # it by index instead of copying it per hardware thread.
+        self.snoops = trace.snoops
         self.snoop_index = 0
         self.fetch_index = 0
         self.fetch_blocked_until = 0
@@ -87,13 +154,18 @@ class OutOfOrderCore:
     """The simulated core: one or two hardware threads over shared execution resources."""
 
     def __init__(self, config: CoreConfig, traces: Sequence[Trace],
-                 name: str = "baseline"):
+                 name: str = "baseline", engine: Optional[str] = None):
         if not traces:
             raise ValueError("at least one trace is required")
         if len(traces) > 2:
             raise ValueError("at most two hardware threads (2-way SMT) are supported")
+        if engine is None:
+            engine = default_engine()
+        if engine not in CORE_ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {CORE_ENGINES}")
         self.config = config
         self.name = name
+        self.engine = engine
         self.smt = len(traces) > 1
         self.stats = PipelineStats()
         self.ports = ExecutionPorts(config.ports)
@@ -142,6 +214,14 @@ class OutOfOrderCore:
         self._rs_waiting: List[InflightOp] = []
         self._denied_nonstable_load_this_cycle = False
         self._issued_loads_this_cycle: List[InflightOp] = []
+        # True when this cycle a load's rename attempt stalled on a full RS
+        # *after* running its side-effecting mechanisms; such cycles must not
+        # be skipped (the reference repeats the side effects every cycle).
+        self._rename_stall_after_side_effects = False
+        #: Idle cycles the event engine jumped over instead of stepping.
+        self.skipped_idle_cycles = 0
+        #: Cycles in which the stage pipeline actually ran.
+        self.stepped_cycles = 0
 
     # ------------------------------------------------------------------ helpers
 
@@ -357,6 +437,14 @@ class OutOfOrderCore:
 
         needs_rs = op.needs_rs and not op.executed_at_rename
         if needs_rs and not self.rs_pool.can_allocate():
+            if dyn.is_load:
+                # The attempt already ran the rename-stage load mechanisms
+                # (Constable SLD lookup, LVP predict, RFP prefetch into the
+                # real hierarchy) before discovering the RS is full, and the
+                # per-cycle reference re-runs them on every stalled cycle.
+                # Flag the cycle so the event engine does not skip the gap —
+                # eliding those repeats would diverge observable statistics.
+                self._rename_stall_after_side_effects = True
             return None
 
         # Claim resources.
@@ -744,10 +832,85 @@ class OutOfOrderCore:
 
     # ======================================================================= run
 
+    def _progress_token(self) -> Tuple[int, int, int, int, int, int, int]:
+        """A fingerprint of every counter some stage bumps when it does work.
+
+        If the token is unchanged across one full stage sweep, the cycle was
+        idle: nothing fetched (``uops_fetched``, which also covers snoop
+        delivery and branch-redirect setup — both happen only while an
+        instruction is fetched), nothing renamed, nothing issued or scheduled
+        (``rs_issues`` plus the monotone heap push counter), nothing written
+        back or resolved (heap length), nothing retired, and no flush
+        (``flushes`` covers both recovery paths).
+        """
+        stats = self.stats
+        return (stats.uops_fetched, stats.uops_renamed, stats.rs_issues,
+                stats.instructions_retired, stats.flushes,
+                self._heap_counter, len(self._completion_heap))
+
+    def _next_event_cycle(self) -> Optional[int]:
+        """The next cycle at which an idle machine can make progress, or None.
+
+        After a zero-progress cycle, every stage is blocked on a condition
+        that only one of these events can change (see the module docstring's
+        equivalence argument): the earliest scheduled completion, a thread's
+        front-end refill timer, or a timed resource becoming ready.  The
+        next-ready queries currently all answer ``None`` (the port, store
+        queue and memory models charge latency at access time), but folding
+        them in here keeps the skip exact if any of them ever grows a timer.
+        """
+        candidates: List[int] = []
+        if self._completion_heap:
+            candidates.append(self._completion_heap[0][0])
+        for thread in self.threads:
+            if not thread.fetch_done() and thread.fetch_blocked_until > self.cycle:
+                candidates.append(thread.fetch_blocked_until)
+        resource_timers = (self.hierarchy.next_ready_cycle(),
+                           self.ports.next_release_cycle())
+        for timer in resource_timers:
+            if timer is not None:
+                candidates.append(timer)
+        for thread in self.threads:
+            timer = thread.store_queue.next_release_cycle()
+            if timer is not None:
+                candidates.append(timer)
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def _skip_idle_gap(self, max_cycles: int) -> None:
+        """Jump over the idle cycles between now and the next event.
+
+        Replays, in bulk, the only two things the per-cycle reference mutates
+        during an idle cycle: the port model's cycle counter and (per
+        Constable-equipped thread) a zero entry in the SLD-updates-per-cycle
+        histogram.  The jump lands one cycle *before* the event so the main
+        loop's increment and runaway guard see exactly the cycle values the
+        reference stepper would.
+        """
+        target = self._next_event_cycle()
+        if target is None:
+            # Genuine deadlock: no scheduled completion and no front-end
+            # timer can ever unblock a stage.  Jump to the runaway guard so
+            # both engines raise the identical diagnostic.
+            self.cycle = max_cycles
+            return
+        resume = min(target, max_cycles + 1)
+        skipped = resume - self.cycle - 1
+        if skipped <= 0:
+            return
+        self.ports.skip_idle_cycles(skipped)
+        for thread in self.threads:
+            if thread.constable is not None:
+                self.stats.record_sld_updates(0, cycles=skipped)
+        self.skipped_idle_cycles += skipped
+        self.cycle = resume - 1
+
     def run(self) -> SimulationResult:
         """Simulate until every thread has drained; returns the result record."""
         total_instructions = sum(len(t.instructions) for t in self.threads)
         max_cycles = total_instructions * self.config.max_cycles_per_instruction + 10_000
+        event_driven = self.engine == "event"
         while not all(thread.done() for thread in self.threads):
             self.cycle += 1
             if self.cycle > max_cycles:
@@ -757,6 +920,8 @@ class OutOfOrderCore:
             for thread in self.threads:
                 if thread.constable is not None:
                     thread.constable.begin_cycle()
+            before = self._progress_token() if event_driven else None
+            self._rename_stall_after_side_effects = False
             self._retire_stage()
             self._writeback_stage()
             self._issue_stage()
@@ -765,6 +930,10 @@ class OutOfOrderCore:
             for thread in self.threads:
                 if thread.constable is not None:
                     self.stats.record_sld_updates(thread.constable.sld_updates_this_cycle)
+            self.stepped_cycles += 1
+            if (event_driven and before == self._progress_token()
+                    and not self._rename_stall_after_side_effects):
+                self._skip_idle_gap(max_cycles)
         self.stats.cycles = self.cycle
         return self._build_result()
 
@@ -886,8 +1055,13 @@ _NO_PREDICTION = _NoPrediction()
 
 
 def simulate_trace(trace: Trace, config: Optional[CoreConfig] = None,
-                   name: str = "baseline") -> SimulationResult:
-    """Convenience wrapper: simulate a single trace on a single hardware thread."""
+                   name: str = "baseline",
+                   engine: Optional[str] = None) -> SimulationResult:
+    """Convenience wrapper: simulate a single trace on a single hardware thread.
+
+    ``engine`` selects the execution engine (``"event"`` cycle skipping or the
+    ``"cycle"`` reference stepper); None defers to :func:`default_engine`.
+    """
     config = config or CoreConfig()
-    core = OutOfOrderCore(config, [trace], name=name)
+    core = OutOfOrderCore(config, [trace], name=name, engine=engine)
     return core.run()

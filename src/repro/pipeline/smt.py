@@ -87,10 +87,15 @@ class SmtResult:
 
 def simulate_smt_pair(trace_a: Trace, trace_b: Trace,
                       config: Optional[CoreConfig] = None,
-                      name: str = "smt2") -> SmtResult:
-    """Run two traces on one 2-way SMT core."""
+                      name: str = "smt2",
+                      engine: Optional[str] = None) -> SmtResult:
+    """Run two traces on one 2-way SMT core.
+
+    ``engine`` selects the execution engine (``"event"`` cycle skipping or the
+    ``"cycle"`` reference stepper); None defers to the process default.
+    """
     config = config or CoreConfig()
-    core = OutOfOrderCore(config, [trace_a, trace_b], name=name)
+    core = OutOfOrderCore(config, [trace_a, trace_b], name=name, engine=engine)
     result = core.run()
     per_thread_ipc = [entry["ipc"] for entry in result.per_thread]
     return SmtResult(result=result, per_thread_ipc=per_thread_ipc)

@@ -69,9 +69,15 @@ class PipelineStats:
             return 0.0
         return self.instructions_retired / self.cycles
 
-    def record_sld_updates(self, updates: int) -> None:
+    def record_sld_updates(self, updates: int, cycles: int = 1) -> None:
+        """Record ``cycles`` thread-cycles that performed ``updates`` SLD writes.
+
+        ``cycles > 1`` is how the event-driven core accounts a skipped idle
+        gap in bulk: every skipped cycle would have recorded zero updates, so
+        the histogram stays bit-identical to the per-cycle reference stepper.
+        """
         self.sld_update_cycles_histogram[updates] = (
-            self.sld_update_cycles_histogram.get(updates, 0) + 1)
+            self.sld_update_cycles_histogram.get(updates, 0) + cycles)
 
     def average_sld_updates_per_cycle(self) -> float:
         total_cycles = sum(self.sld_update_cycles_histogram.values())

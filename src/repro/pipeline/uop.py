@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.isa.instruction import DynamicInstruction, OpClass
+from repro.isa.instruction import DynamicInstruction
 
 
 class InflightOp:
@@ -12,6 +12,7 @@ class InflightOp:
 
     __slots__ = (
         "dyn", "thread", "trace_index", "rename_cycle",
+        "seq", "pc", "opclass", "dest",
         "depends_on", "needs_rs", "port_kind",
         "complete", "complete_cycle", "value_ready_cycle",
         "issued", "issue_cycle", "finish_cycle",
@@ -35,6 +36,12 @@ class InflightOp:
         self.thread = thread
         self.trace_index = trace_index
         self.rename_cycle = rename_cycle
+        # Flattened static decode: the retire/issue loops touch these every
+        # cycle, so they are plain slots instead of ``dyn.static.*`` chases.
+        self.seq = dyn.seq
+        self.pc = dyn.pc
+        self.opclass = dyn.opclass
+        self.dest = dyn.static.dest
         self.depends_on: List["InflightOp"] = []
         self.needs_rs = True
         self.port_kind = None
@@ -69,22 +76,6 @@ class InflightOp:
         self.retired = False
 
     # ------------------------------------------------------------------ queries
-
-    @property
-    def seq(self) -> int:
-        return self.dyn.seq
-
-    @property
-    def pc(self) -> int:
-        return self.dyn.pc
-
-    @property
-    def opclass(self) -> OpClass:
-        return self.dyn.opclass
-
-    @property
-    def dest(self) -> Optional[int]:
-        return self.dyn.static.dest
 
     def sources_ready(self, cycle: int) -> bool:
         """True if every producer has made its value available by ``cycle``."""

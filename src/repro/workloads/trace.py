@@ -28,7 +28,9 @@ class Trace:
         self.name = name
         self.category = category
         self.instructions = instructions
-        self.snoops = sorted(snoops or [], key=lambda s: s.after_seq)
+        # Stored as an immutable tuple: every hardware thread simulating this
+        # trace shares the sequence (indexing into it) instead of copying it.
+        self.snoops = tuple(sorted(snoops or (), key=lambda s: s.after_seq))
         self.program = program
         self.num_registers = num_registers
         self.metadata = dict(metadata or {})

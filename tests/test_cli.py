@@ -212,6 +212,194 @@ def test_cache_verify_flags_stale_schema_without_failing(tmp_path, capsys):
     assert report["stale_schema"] == [str(entry)]
 
 
+# --------------------------------------------------- persisted hit/miss ledger
+
+def test_cache_stats_reports_cross_run_hit_rates(tmp_path, capsys):
+    """Counters from separate sweep runs accumulate in the directory ledger."""
+    sweep = ["sweep", "--configs", "baseline", "--smt-configs", "none"] \
+        + _runner_args(tmp_path)
+    assert main(sweep) == 0          # cold: stores, no hits
+    assert main(sweep) == 0          # warm: pure hits
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path), "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    counters = stats["persisted_counters"]
+    assert counters["ledgers"] >= 2, "each run must flush its own ledger"
+    assert counters["total"]["stores"] == len(SUITES) * 2
+    assert counters["total"]["hits"] >= len(SUITES) * 2, \
+        "the warm rerun's hits must be visible to a later process"
+    assert set(counters["by_cache"]) == {"ResultCache", "ReportCache"}
+
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+    assert "hit rate" in capsys.readouterr().out
+
+
+def test_cache_gc_compacts_ledgers_losslessly(tmp_path, capsys):
+    """`cache gc` folds per-run ledger files without changing the aggregate."""
+    from repro.experiments.cache import persisted_cache_stats
+
+    sweep = ["sweep", "--configs", "baseline", "--smt-configs", "none"] \
+        + _runner_args(tmp_path)
+    assert main(sweep) == 0
+    assert main(sweep) == 0
+    before = persisted_cache_stats(tmp_path)
+    assert before["ledgers"] >= 4  # two runs x (result + report cache)
+    assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                 "--max-mb", "1024"]) == 0
+    capsys.readouterr()
+    after = persisted_cache_stats(tmp_path)
+    assert after["total"] == before["total"], "compaction must not change sums"
+    assert after["by_cache"] == before["by_cache"]
+    assert after["ledgers"] == len(after["by_cache"]), \
+        "ledger count must collapse to one file per cache class"
+
+
+def test_compaction_lock_serialises_concurrent_compactors(tmp_path):
+    """A second compactor racing the first is a no-op; stale locks get broken."""
+    import json as json_module
+    import os as os_module
+    import time
+    from repro.experiments.cache import (
+        _COMPACT_LOCK_STALE_SECONDS,
+        STATS_SUBDIR,
+        compact_persisted_stats,
+        persisted_cache_stats,
+    )
+
+    stats_dir = tmp_path / STATS_SUBDIR
+    stats_dir.mkdir(parents=True)
+    for index in range(3):
+        (stats_dir / f"run{index}.stats").write_text(json_module.dumps({
+            "cache": "ResultCache",
+            "counters": {"hits": 1, "misses": 0, "stores": 0, "evictions": 0}}))
+    before = persisted_cache_stats(tmp_path)
+
+    lock = stats_dir / ".compact.lock"
+    lock.write_text("")  # a live concurrent compactor holds the lock
+    assert compact_persisted_stats(tmp_path) == 0
+    assert persisted_cache_stats(tmp_path) == before, \
+        "losing the lock race must not touch the ledgers"
+
+    stale = time.time() - _COMPACT_LOCK_STALE_SECONDS - 60
+    os_module.utime(lock, (stale, stale))
+    assert compact_persisted_stats(tmp_path) == 0, \
+        "the call that breaks a stale lock does not compact itself"
+    assert not lock.exists()
+    assert compact_persisted_stats(tmp_path) == 3
+    after = persisted_cache_stats(tmp_path)
+    assert after["total"] == before["total"]
+    assert after["ledgers"] == 1
+
+
+def test_compaction_crash_leftovers_never_double_count(tmp_path):
+    """A compactor dying between writing its output and unlinking the folded
+    sources must not double-count: the compacted file's `folded` list makes
+    readers skip the leftovers, and the next compaction deletes them."""
+    import json as json_module
+    from repro.experiments.cache import (
+        STATS_SUBDIR,
+        compact_persisted_stats,
+        persisted_cache_stats,
+    )
+
+    stats_dir = tmp_path / STATS_SUBDIR
+    stats_dir.mkdir(parents=True)
+    for index in range(2):
+        (stats_dir / f"run{index}.stats").write_text(json_module.dumps({
+            "cache": "ResultCache",
+            "counters": {"hits": 2, "misses": 1, "stores": 1, "evictions": 0}}))
+    # Emulate the crash: the compacted output exists, the sources were never
+    # unlinked.
+    (stats_dir / "compacted-dead.stats").write_text(json_module.dumps({
+        "cache": "ResultCache",
+        "counters": {"hits": 4, "misses": 2, "stores": 2, "evictions": 0},
+        "compacted": True, "folded": ["run0.stats", "run1.stats"]}))
+    summary = persisted_cache_stats(tmp_path)
+    assert summary["total"]["hits"] == 4, "leftover sources must be excluded"
+    assert summary["ledgers"] == 1
+    assert compact_persisted_stats(tmp_path) == 2, \
+        "the next compaction must delete the superseded leftovers"
+    assert not (stats_dir / "run0.stats").exists()
+    assert persisted_cache_stats(tmp_path)["total"]["hits"] == 4
+
+
+def test_bench_rejects_non_positive_instruction_budget():
+    from repro.experiments.bench import run_bench
+    for bad in (0, -5):
+        with pytest.raises(ValueError):
+            run_bench(families=["sensitivity"], instructions=bad)
+
+
+def test_sweep_families_all_with_typo_is_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--families", "all,sensitivty"] + _runner_args(tmp_path))
+
+
+def test_persist_stats_flushes_deltas_exactly_once(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.persist_stats() is None, "no counters -> no ledger file"
+    cache.get("0" * 64)  # a miss
+    first = cache.persist_stats()
+    assert first is not None and first.suffix == ".stats"
+    assert cache.persist_stats() is None, "same counters -> nothing to flush"
+    cache.get("1" * 64)
+    assert cache.persist_stats() is not None
+    from repro.experiments.cache import persisted_cache_stats
+    assert persisted_cache_stats(tmp_path)["total"]["misses"] == 2
+    assert len(cache) == 0, "ledger files must be invisible to entry scans"
+    cache.clear()
+    assert persisted_cache_stats(tmp_path)["total"] == {
+        "hits": 0, "misses": 0, "stores": 0, "evictions": 0}
+
+
+# ---------------------------------------------------------- sensitivity sweeps
+
+def test_sweep_sensitivity_family_warms_fig13_and_fig20(tmp_path, simulation_counter):
+    """The fig. 13/20 config families are sweepable: a sensitivity sweep into a
+    cache directory lets both sensitivity figures regenerate simulation-free."""
+    assert main(["sweep", "--families", "sensitivity", "--smt-configs", "none"]
+                + _runner_args(tmp_path)) == 0
+    swept = simulation_counter["count"]
+    assert swept > 0
+    for figure in ("fig13", "fig20"):
+        assert main(["figures", figure] + _runner_args(tmp_path)
+                    + ["--expect-warm"]) == 0, figure
+    assert simulation_counter["count"] == swept, \
+        "warm sensitivity figures must not simulate"
+
+
+def test_sweep_rejects_unknown_family(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--families", "nope"] + _runner_args(tmp_path))
+
+
+# ----------------------------------------------------------------------- bench
+
+def test_bench_cli_writes_report(tmp_path, capsys):
+    output = tmp_path / "bench.json"
+    assert main(["bench", "--quick", "--families", "sensitivity",
+                 "--instructions", "400", "--output", str(output)]) == 0
+    out = capsys.readouterr().out
+    assert "repro bench" in out and str(output) in out
+    payload = json.loads(output.read_text(encoding="utf-8"))
+    assert payload["schema"] == 1
+    assert payload["identical"] is True
+    assert payload["engines"] == ["cycle", "event"]
+    family = payload["families"]["sensitivity"]
+    assert family["speedup"] > 0
+    assert all(job["identical"] for job in family["jobs"])
+
+
+def test_bench_cli_rejects_unknown_family_and_engine(tmp_path, capsys):
+    assert main(["bench", "--families", "nope",
+                 "--output", str(tmp_path / "b.json")]) == 2
+    assert "families" in capsys.readouterr().err
+    assert main(["bench", "--engines", "warp",
+                 "--output", str(tmp_path / "b.json")]) == 2
+    assert "engine" in capsys.readouterr().err
+
+
 # --------------------------------------------------------------------- figures
 
 def test_figures_cli_warm_run_performs_zero_simulations(tmp_path, simulation_counter):
