@@ -40,8 +40,10 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.bench import (
     BENCH_FAMILIES,
+    ORCHESTRATOR_BENCH_FIGURES,
     format_bench_table,
     run_bench,
+    run_orchestrator_bench,
     write_bench_report,
 )
 from repro.experiments.cache import (
@@ -60,14 +62,35 @@ from repro.experiments.figures import (
     default_runner,
     sweep_smt_configs,
 )
+from repro.experiments.orchestrator import (
+    FIGURE_PLANS,
+    FigurePlan,
+    SweepOrchestrator,
+    orchestrate_figures,
+)
 from repro.pipeline.cpu import CORE_ENGINES
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import format_dedup_stats, format_table
 from repro.experiments.runner import ExperimentRunner, Shard
 from repro.workloads.suites import SUITE_NAMES
+
+#: Environment variable flipping the default of ``--orchestrate`` (``0``,
+#: ``false``, ``no`` or ``off`` disable cross-figure orchestration when the
+#: flag is not given explicitly).
+ORCHESTRATE_ENV = "REPRO_ORCHESTRATE"
 
 
 def _resolve_cache_dir(arg: Optional[str]) -> str:
     return arg or os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+
+
+def _resolve_orchestrate(flag: Optional[bool]) -> bool:
+    """The effective orchestration switch: explicit flag, else env, else on."""
+    if flag is not None:
+        return flag
+    raw = os.environ.get(ORCHESTRATE_ENV)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in {"0", "false", "no", "off"}
 
 
 def _human_bytes(count: int) -> str:
@@ -86,6 +109,11 @@ def _add_cache_dir_argument(parser: argparse.ArgumentParser) -> None:
 
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
     _add_cache_dir_argument(parser)
+    parser.add_argument(
+        "--orchestrate", action=argparse.BooleanOptionalAction, default=None,
+        help="dedupe shared jobs across figures/configs and execute them as "
+             "one continuously fed wave (default: on, or $"
+             f"{ORCHESTRATE_ENV})")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes (>1 uses the parallel runner)")
     parser.add_argument("--per-suite", type=int, default=2,
@@ -235,22 +263,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                    "configs")
     smt_configs = _parse_config_subset(args.smt_configs, sweep_smt_configs(),
                                        "SMT configs")
+    orchestrate = _resolve_orchestrate(args.orchestrate)
     with _build_runner(args) as runner:
         label = f"shard {shard.index}/{shard.count}" if shard else "full sweep"
         print(f"{label}: {len(runner.specs())} workloads, "
               f"{len(configs)} configs, {len(smt_configs)} SMT configs "
               f"-> cache {runner.cache.directory}")
+        if orchestrate and (configs or smt_configs):
+            # One deduped wave over every outstanding job (single-thread and
+            # SMT alike); the per-config loops below then just read back the
+            # committed results without simulating anything.
+            plan = FigurePlan("sweep", configs=configs, smt_configs=smt_configs,
+                              smt_max_pairs=args.max_pairs)
+            stats = SweepOrchestrator(runner).execute([plan], shard=shard)
+            print(format_dedup_stats(stats, title="orchestrated wave"))
         for name, config in configs.items():
             before = runner.cache.stats.stores
             results = runner.run_config(name, config, shard=shard)
-            print(f"  {name}: {len(results)} workloads "
-                  f"({runner.cache.stats.stores - before} simulated)")
+            note = ("wave" if orchestrate
+                    else f"{runner.cache.stats.stores - before} simulated")
+            print(f"  {name}: {len(results)} workloads ({note})")
         for name, config in smt_configs.items():
             before = runner.cache.stats.stores
             results = runner.run_smt_config(name, config,
                                             max_pairs=args.max_pairs, shard=shard)
-            print(f"  smt:{name}: {len(results)} pairs "
-                  f"({runner.cache.stats.stores - before} simulated)")
+            note = ("wave" if orchestrate
+                    else f"{runner.cache.stats.stores - before} simulated")
+            print(f"  smt:{name}: {len(results)} pairs ({note})")
         simulated = runner.cache.stats.stores
         inspected = (runner.report_cache.stats.stores
                      if runner.report_cache is not None else 0)
@@ -280,9 +319,18 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         else:
             available = sorted(FIGURE_HARNESSES) + sorted(STANDALONE_HARNESSES)
             raise SystemExit(f"unknown figure {name!r}; available: {available}")
+    orchestrate = _resolve_orchestrate(args.orchestrate)
     with _build_runner(args) as runner:
+        orchestrated: Dict[str, Dict[str, object]] = {}
+        dedup_stats = None
+        if orchestrate:
+            planned = [name for name in names if name in FIGURE_PLANS]
+            if planned:
+                orchestrated, dedup_stats = orchestrate_figures(runner, planned)
         for name in names:
-            if name in FIGURE_HARNESSES:
+            if name in orchestrated:
+                result = orchestrated[name]
+            elif name in FIGURE_HARNESSES:
                 result = FIGURE_HARNESSES[name](runner)
             else:
                 result = STANDALONE_HARNESSES[name]()
@@ -294,6 +342,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                 print(result["text"])
             else:
                 print(f"{name}: {sorted(result)}")
+        if dedup_stats is not None:
+            print(format_dedup_stats(dedup_stats, title="orchestrated wave"))
         simulated = runner.cache.stats.stores if runner.cache is not None else 0
         inspected = (runner.report_cache.stats.stores
                      if runner.report_cache is not None else 0)
@@ -313,9 +363,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.families:
         families = [name.strip() for name in args.families.split(",")
                     if name.strip()]
+    if args.workers is not None and not args.orchestrator:
+        print("--workers only applies to the orchestrator measurement; "
+              "pass --orchestrator too (engine timings are serial by design)",
+              file=sys.stderr)
+        return 2
     try:
         payload = run_bench(quick=args.quick, engines=engines, families=families,
                             instructions=args.instructions)
+        if args.orchestrator:
+            payload["orchestrator"] = run_orchestrator_bench(
+                quick=args.quick, workers=args.workers,
+                instructions=args.instructions)
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -325,6 +384,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not payload["identical"]:
         print("ENGINE DIVERGENCE: at least one workload/config simulated "
               "differently under the cycle and event engines", file=sys.stderr)
+        return 1
+    orchestrator = payload.get("orchestrator")
+    if orchestrator is not None and not orchestrator["identical"]:
+        print("ORCHESTRATOR DIVERGENCE: orchestrated figure payloads differ "
+              "from the serial per-figure path", file=sys.stderr)
         return 1
     return 0
 
@@ -398,9 +462,16 @@ def build_parser() -> argparse.ArgumentParser:
                             f"(available: {', '.join(CORE_ENGINES)})")
     bench.add_argument("--instructions", type=int, default=None,
                        help="override the per-family instruction budgets")
+    bench.add_argument("--orchestrator", action="store_true",
+                       help="also measure the cross-figure orchestrator against "
+                            "the serial per-figure path (figures: "
+                            f"{', '.join(ORCHESTRATOR_BENCH_FIGURES)})")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the orchestrator measurement "
+                            "(default: the parallel runner's default)")
     bench.add_argument("--output", default=None,
                        help="report path (default: BENCH_<timestamp>.json in "
-                            "the working directory)")
+                            "bench_reports/)")
     return parser
 
 

@@ -26,6 +26,13 @@ from repro.experiments.runner import (
     WorkloadRun,
 )
 from repro.experiments.parallel import ParallelExperimentRunner
+from repro.experiments.orchestrator import (
+    DedupStats,
+    FIGURE_PLANS,
+    FigurePlan,
+    SweepOrchestrator,
+    orchestrate_figures,
+)
 from repro.experiments import figures
 from repro.experiments.reporting import format_table, format_percent
 
@@ -48,6 +55,11 @@ __all__ = [
     "rfp_config",
     "constable_engine_config",
     "named_configs",
+    "DedupStats",
+    "FIGURE_PLANS",
+    "FigurePlan",
+    "SweepOrchestrator",
+    "orchestrate_figures",
     "ExperimentRunner",
     "WorkloadRun",
     "figures",

@@ -18,10 +18,17 @@ Families mirror how the paper's figures load the simulator:
 * ``smt`` — a fig. 14-style SMT2 pair;
 * ``sensitivity`` — fig. 13/20-style width/depth/category variants.
 
-**Report schema** (``BENCH_<UTC timestamp>.json``, ``schema`` = 1)::
+Reports land in ``bench_reports/`` by default (``BENCH_<UTC timestamp>.json``);
+:func:`latest_bench_report` resolves the newest committed report, still
+accepting the pre-``bench_reports/`` repo-root location with a deprecation
+warning.  :func:`perf_gate` compares a fresh report against a committed
+reference with a generous threshold — the soft regression gate CI's
+perf-smoke job runs.
+
+**Report schema** (``BENCH_<UTC timestamp>.json``, ``schema`` = 2)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "created_utc": "YYYY-mm-ddTHH:MM:SSZ",
       "quick": bool,                  # --quick run (reduced budgets)
       "engines": ["cycle", "event"],
@@ -46,14 +53,29 @@ Families mirror how the paper's figures load the simulator:
           "identical": bool},
         ...},
       "speedup_geomean": geomean of family speedups,
-      "identical": bool               # every job bit-identical across engines
+      "identical": bool,              # every job bit-identical across engines
+      "orchestrator": {               # only with --orchestrator
+        "figures": [...], "workers": N,
+        "per_suite": N, "instructions": N,
+        "serial_wall_seconds": s,     # per-figure harnesses back-to-back
+        "orchestrated_wall_seconds": s,  # one deduped cross-figure wave
+        "speedup": serial / orchestrated,
+        "identical": bool,            # figure payloads bit-identical
+        "dedup": {"planned": N, "unique": N, "deduped": N,
+                  "cache_warm": N, "executed": N}}
     }
 
-``speedup``/``speedup_geomean`` are only present when both engines ran.  The
+``speedup``/``speedup_geomean`` are only present when both engines ran; the
+``orchestrator`` section only when the orchestrated mode was requested.  The
 CI perf-smoke job runs ``repro bench --quick`` and uploads the report as an
-artifact — record-only for wall-clock numbers (shared runners are noisy), but
-the run fails loudly if any engine pair diverges, so the harness doubles as an
-end-to-end differential check.
+artifact, then soft-gates wall seconds against the committed reference —
+generous threshold, warn-only off the canonical repo — but the run fails
+loudly if any engine pair (or the orchestrated figure set) diverges, so the
+harness doubles as an end-to-end differential check.
+
+Schema history: 1 = engine families only; 2 = adds the optional
+``orchestrator`` section (older readers that ignore unknown keys still parse
+v2 reports).
 """
 
 from __future__ import annotations
@@ -78,11 +100,26 @@ from repro.workloads.generator import DEFAULT_BASE_PC, generate_trace
 from repro.workloads.suites import WorkloadSpec, get_workload_spec
 from repro.workloads.trace import Trace
 
-#: Version of the BENCH_*.json report layout.
-BENCH_SCHEMA_VERSION = 1
+#: Version of the BENCH_*.json report layout (2 adds the optional
+#: ``orchestrator`` section; see the module docstring's schema history).
+BENCH_SCHEMA_VERSION = 2
 
 #: Report filename pattern; the timestamp is UTC.
 BENCH_FILE_FORMAT = "BENCH_%Y%m%dT%H%M%SZ.json"
+
+#: Where reports are written (and committed) by default.
+BENCH_REPORTS_DIR = "bench_reports"
+
+#: Filename glob matching bench reports.
+BENCH_FILE_GLOB = "BENCH_*.json"
+
+#: Figures measured by the orchestrated mode: a heavy-overlap subset (the
+#: baseline/constable family is demanded by every one of them, and fig. 13's
+#: ``all_loads`` / fig. 20's ``baseline_w3``-style grid points are
+#: content-identical to configs the others already demand), plus fig. 14 so
+#: the wave carries SMT jobs too.
+ORCHESTRATOR_BENCH_FIGURES = (
+    "fig11", "fig12", "fig13", "fig14", "fig16", "fig17", "fig20")
 
 
 @dataclass(frozen=True)
@@ -96,6 +133,7 @@ class BenchJob:
 
     @property
     def smt(self) -> bool:
+        """True when the job simulates an SMT2 pair (two workload specs)."""
         return len(self.specs) > 1
 
 
@@ -298,10 +336,71 @@ def run_bench(quick: bool = False,
     return payload
 
 
+def run_orchestrator_bench(quick: bool = False,
+                           workers: Optional[int] = None,
+                           per_suite: Optional[int] = None,
+                           instructions: Optional[int] = None,
+                           figures: Optional[Sequence[str]] = None
+                           ) -> Dict[str, object]:
+    """Measure the cross-figure orchestrator against the serial per-figure path.
+
+    Both paths run the same figure set cold (no on-disk cache) on identical
+    parallel runners: the *serial* path executes each harness back-to-back —
+    every ``run_config`` call is its own pool barrier, exactly what
+    ``repro figures all --no-orchestrate`` does — while the *orchestrated*
+    path dedups all figures' jobs and feeds them through one wave.  Figure
+    payloads are verified bit-identical between the two paths; the returned
+    section (see the module docstring's schema) records both wall times, the
+    speedup ratio and the dedup stats.
+    """
+    from repro.experiments.figures import FIGURE_HARNESSES
+    from repro.experiments.orchestrator import orchestrate_figures
+    from repro.experiments.parallel import ParallelExperimentRunner
+
+    selected = list(figures) if figures is not None else list(ORCHESTRATOR_BENCH_FIGURES)
+    unknown = sorted(set(selected) - set(FIGURE_HARNESSES))
+    if unknown:
+        raise ValueError(f"unknown orchestrator bench figures {unknown}; "
+                         f"available: {sorted(FIGURE_HARNESSES)}")
+    if per_suite is None:
+        per_suite = 1 if quick else 2
+    if instructions is None:
+        instructions = 1_500 if quick else 6_000
+    runner_kwargs = dict(per_suite=per_suite, instructions=instructions)
+    if workers is not None:
+        runner_kwargs["max_workers"] = workers
+
+    with ParallelExperimentRunner(**runner_kwargs) as serial_runner:
+        start = time.perf_counter()
+        serial_results = {name: FIGURE_HARNESSES[name](serial_runner)
+                          for name in selected}
+        serial_wall = time.perf_counter() - start
+        effective_workers = serial_runner.max_workers
+
+    with ParallelExperimentRunner(**runner_kwargs) as wave_runner:
+        start = time.perf_counter()
+        orchestrated_results, dedup = orchestrate_figures(wave_runner, selected)
+        orchestrated_wall = time.perf_counter() - start
+
+    identical = all(serial_results[name] == orchestrated_results[name]
+                    for name in selected)
+    return {
+        "figures": selected,
+        "workers": effective_workers,
+        "per_suite": per_suite,
+        "instructions": instructions,
+        "serial_wall_seconds": serial_wall,
+        "orchestrated_wall_seconds": orchestrated_wall,
+        "speedup": serial_wall / max(orchestrated_wall, 1e-9),
+        "identical": identical,
+        "dedup": dedup.to_dict(),
+    }
+
+
 def write_bench_report(payload: Dict[str, object],
                        output: Optional[Union[str, Path]] = None,
-                       directory: Union[str, Path] = ".") -> Path:
-    """Write the report; default name ``BENCH_<UTC timestamp>.json``."""
+                       directory: Union[str, Path] = BENCH_REPORTS_DIR) -> Path:
+    """Write the report; default ``bench_reports/BENCH_<UTC timestamp>.json``."""
     if output is None:
         output = Path(directory) / time.strftime(BENCH_FILE_FORMAT, time.gmtime())
     path = Path(output)
@@ -309,6 +408,84 @@ def write_bench_report(payload: Dict[str, object],
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
     return path
+
+
+def latest_bench_report(directory: Union[str, Path] = BENCH_REPORTS_DIR,
+                        legacy_directory: Union[str, Path] = "."
+                        ) -> Optional[Tuple[Path, Dict[str, object]]]:
+    """Locate and load the newest committed bench report.
+
+    Looks in ``bench_reports/`` first; when empty, falls back to the
+    pre-``bench_reports/`` location (``BENCH_*.json`` in the repo root) with a
+    :class:`DeprecationWarning`.  Filenames embed a UTC timestamp, so the
+    lexically greatest name is the newest report.  Returns ``(path, payload)``
+    or None when no report exists anywhere.
+    """
+    import warnings
+
+    reports = sorted(Path(directory).glob(BENCH_FILE_GLOB))
+    if not reports:
+        legacy = sorted(Path(legacy_directory).glob(BENCH_FILE_GLOB))
+        if not legacy:
+            return None
+        warnings.warn(
+            f"bench reports in {Path(legacy_directory).resolve()} are "
+            f"deprecated; move them into {BENCH_REPORTS_DIR}/",
+            DeprecationWarning, stacklevel=2)
+        reports = legacy
+    path = reports[-1]
+    return path, json.loads(path.read_text(encoding="utf-8"))
+
+
+def perf_gate(current: Dict[str, object], reference: Dict[str, object],
+              threshold: float = 1.5,
+              min_wall_seconds: float = 0.5) -> List[str]:
+    """Compare a fresh bench payload against a committed reference report.
+
+    Returns one message per comparison whose event-engine wall seconds
+    regressed past ``threshold`` × the reference — the soft gate CI's
+    perf-smoke job evaluates.  Two noise guards keep the gate honest across
+    machines of different speeds:
+
+    * a family is only compared when its *reference* wall reaches
+      ``min_wall_seconds`` — sub-threshold walls are dominated by timer and
+      scheduler noise, where any ratio is meaningless;
+    * the **aggregate** wall over all shared families is compared too (when
+      it reaches the floor), so a broad slowdown spread thinly over
+      individually-tiny families is still caught.
+
+    Families missing from either report are skipped, and the whole comparison
+    is vacuous (empty list) when the two reports used different budgets (full
+    vs ``--quick``): cross-budget walls are not comparable.
+    """
+    if threshold <= 1.0:
+        raise ValueError("threshold must exceed 1.0")
+    if bool(current.get("quick")) != bool(reference.get("quick")):
+        return []
+    problems: List[str] = []
+    reference_families = reference.get("families", {})
+    total_now = total_then = 0.0
+    for family, report in current.get("families", {}).items():
+        baseline = reference_families.get(family)
+        if baseline is None:
+            continue
+        now = report.get("totals", {}).get("event", {}).get("wall_seconds")
+        then = baseline.get("totals", {}).get("event", {}).get("wall_seconds")
+        if not now or not then:
+            continue
+        total_now += now
+        total_then += then
+        if then < min_wall_seconds:
+            continue
+        if now > then * threshold:
+            problems.append(
+                f"{family}/event: {now:.2f}s vs committed {then:.2f}s "
+                f"(> {threshold:.2f}x)")
+    if total_then >= min_wall_seconds and total_now > total_then * threshold:
+        problems.append(
+            f"aggregate/event: {total_now:.2f}s vs committed {total_then:.2f}s "
+            f"(> {threshold:.2f}x)")
+    return problems
 
 
 def format_bench_table(payload: Dict[str, object]) -> str:
@@ -329,7 +506,20 @@ def format_bench_table(payload: Dict[str, object]) -> str:
             "yes" if report["identical"] else "NO",
         ))
     title = ("repro bench (quick)" if payload.get("quick") else "repro bench")
-    return format_table(
+    table = format_table(
         ["family", f"{primary} wall", "sim kinstr/s", "speedup vs cycle",
          "cycles skipped", "bit-identical"],
         rows, title=title)
+    orchestrator = payload.get("orchestrator")
+    if orchestrator:
+        dedup = orchestrator["dedup"]
+        table += (
+            f"\norchestrator ({len(orchestrator['figures'])} figures, "
+            f"{orchestrator['workers']} workers): "
+            f"serial {orchestrator['serial_wall_seconds']:.2f}s -> wave "
+            f"{orchestrator['orchestrated_wall_seconds']:.2f}s "
+            f"({orchestrator['speedup']:.2f}x); "
+            f"jobs {dedup['planned']} planned / {dedup['unique']} unique / "
+            f"{dedup['cache_warm']} cache-warm; "
+            f"{'bit-identical' if orchestrator['identical'] else 'DIVERGED'}")
+    return table

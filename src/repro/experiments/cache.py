@@ -170,6 +170,7 @@ class CacheStats:
         self.evictions = 0
 
     def as_dict(self) -> Dict[str, int]:
+        """The four counters as a plain dictionary (ledger/JSON form)."""
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores, "evictions": self.evictions}
 
@@ -400,6 +401,7 @@ class CacheVerifyReport:
         return not (self.corrupt or self.key_mismatch or self.orphan_temp)
 
     def as_dict(self) -> Dict[str, object]:
+        """A JSON-serializable form of the report (``--json`` CLI output)."""
         return dataclasses.asdict(self)
 
 

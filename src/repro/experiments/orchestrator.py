@@ -1,0 +1,582 @@
+"""Cross-figure sweep orchestration with global job dedup.
+
+The paper's evaluation is ~20 figures whose configuration sweeps overlap
+heavily: figs. 11, 12, 14, 16 and 17 all re-simulate the same
+baseline/constable configurations, fig. 20's ``baseline_w3``/``baseline_d1.0``
+grid points are content-identical to the plain baseline, and fig. 13's
+``all_loads`` is the plain Constable configuration under another name.  Run
+back-to-back (``repro figures all``), each harness re-plans those shared
+``(config, workload)`` jobs and every ``run_config`` call is its own barrier,
+so the worker pool drains between harnesses and between configurations.
+
+:class:`SweepOrchestrator` removes both costs while staying bit-identical to
+the serial per-figure path:
+
+1. **Collect** — every requested figure declares its configuration demand as a
+   :class:`FigurePlan` (the :data:`FIGURE_PLANS` registry mirrors each harness
+   in :mod:`repro.experiments.figures`; a consistency test pins the two
+   against each other).  The orchestrator merges the plans and materialises
+   jobs through the runner's existing planning hooks
+   (:meth:`~repro.experiments.runner.ExperimentRunner.plan_jobs` /
+   :meth:`~repro.experiments.runner.ExperimentRunner.plan_smt_jobs`).
+2. **Dedup** — planned jobs are grouped by *content* fingerprint (the same
+   material the on-disk cache keys hash: the fully materialised
+   :class:`~repro.pipeline.config.CoreConfig`, the workload spec and the trace
+   parameters), so two figures demanding the same simulation under different
+   names share one job.  Each group consults the on-disk cache once.
+3. **Execute** — every outstanding representative job, single-thread and SMT
+   alike, goes through the runner's
+   :meth:`~repro.experiments.runner.ExperimentRunner._execute_wave` hook as
+   **one** batch: the parallel runner submits them all to one process pool up
+   front and awaits once, so the pool never drains between harnesses.
+4. **Commit** — each group's single result is committed under *every*
+   ``(config name, workload)`` alias that demanded it, through the exact
+   in-memory stores the serial ``run_config``/``run_smt_config`` pipeline
+   commits to.  Running the figure harnesses afterwards finds everything
+   already committed and performs **zero** simulations, so their outputs are
+   bit-identical to the serial per-figure path by construction (pinned
+   differentially at 1/2/4 workers in ``tests/test_orchestrator.py``).
+
+Results are pure functions of ``(config, trace)``, which is what makes the
+aliasing sound: committing one result object under several names is
+observationally identical to simulating the same inputs once per name.
+
+The :class:`DedupStats` record (``planned`` figure demand, ``unique`` after
+dedup, ``cache_warm`` served from disk, ``executed`` actually simulated) is
+surfaced by ``repro figures``/``repro sweep`` and recorded by ``repro bench
+--orchestrator`` reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.ideal import IdealMode
+from repro.experiments.cache import config_fingerprint
+from repro.experiments.configs import (
+    baseline_config,
+    constable_config,
+    constable_engine_config,
+    elar_config,
+    elar_constable_config,
+    eves_config,
+    eves_constable_config,
+    rfp_config,
+    rfp_constable_config,
+)
+from repro.experiments.runner import (
+    ConfigLike,
+    ExperimentRunner,
+    Shard,
+    SimulationJob,
+    SmtJob,
+)
+from repro.isa.instruction import AddressingMode
+from repro.pipeline.smt import SmtResult
+from repro.pipeline.stats import SimulationResult
+
+
+@dataclass(frozen=True)
+class FigurePlan:
+    """One figure harness's declared configuration demand.
+
+    ``configs`` maps the exact configuration names the harness passes to
+    ``run_config`` to equivalent :data:`ConfigLike` values; ``smt_configs``
+    does the same for ``run_smt_config`` with ``smt_max_pairs`` as the
+    harness's pair budget (None = the full pair list).  A harness that only
+    consumes workload traces and Load Inspector reports (fig. 3) declares an
+    empty plan — the orchestrator still generates its workloads.
+    """
+
+    figure: str
+    configs: Mapping[str, ConfigLike] = field(default_factory=dict)
+    smt_configs: Mapping[str, ConfigLike] = field(default_factory=dict)
+    smt_max_pairs: Optional[int] = None
+
+
+@dataclass
+class DedupStats:
+    """Cross-figure job-dedup accounting for one orchestrated wave.
+
+    ``planned`` counts figure demand before any sharing — what serial
+    per-figure execution with per-figure runners and a cold cache would
+    simulate.  ``unique`` is the job count after merging identical names and
+    grouping by content fingerprint; ``cache_warm`` of those came from the
+    on-disk cache and ``executed`` were actually simulated in the wave.
+    """
+
+    figures: List[str] = field(default_factory=list)
+    planned: int = 0
+    unique: int = 0
+    cache_warm: int = 0
+    executed: int = 0
+
+    @property
+    def deduped(self) -> int:
+        """How many planned jobs were satisfied by sharing another job's result."""
+        return self.planned - self.unique
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable form (embedded in bench reports)."""
+        return {
+            "figures": list(self.figures),
+            "planned": self.planned,
+            "unique": self.unique,
+            "deduped": self.deduped,
+            "cache_warm": self.cache_warm,
+            "executed": self.executed,
+        }
+
+
+def _relabelled(result: SimulationResult, config_name: str) -> SimulationResult:
+    """The result as ``config_name`` sees it.
+
+    A deduped group commits one simulation under several alias names; shallow
+    relabelling keeps each alias's ``result.config_name`` (and ``summary()``)
+    telling the truth, exactly as if the serial path had simulated under that
+    name.  Everything else is shared — results are immutable downstream.
+    """
+    if result.config_name == config_name:
+        return result
+    return dataclasses.replace(result, config_name=config_name)
+
+
+def _relabelled_smt(result: SmtResult, config_name: str) -> SmtResult:
+    """SMT counterpart of :func:`_relabelled` (the label lives one level down)."""
+    if result.result.config_name == config_name:
+        return result
+    return dataclasses.replace(
+        result, result=_relabelled(result.result, config_name))
+
+
+def _fingerprint_text(job_config) -> str:
+    """A deterministic text form of a materialised config's fingerprint."""
+    return json.dumps(config_fingerprint(job_config), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def _sim_identity(job: SimulationJob) -> str:
+    """The content identity of a single-thread job (cache key when available).
+
+    Falls back to the same material the cache key hashes — the materialised
+    config fingerprint plus the workload — so dedup behaves identically with
+    and without an attached on-disk cache.
+    """
+    if job.cache_key is not None:
+        return job.cache_key
+    return f"sim:{job.workload}:{_fingerprint_text(job.config)}"
+
+
+def _smt_identity(job: SmtJob) -> str:
+    """The content identity of an SMT2 job (cache key when available)."""
+    if job.cache_key is not None:
+        return f"smt:{job.cache_key}"
+    return (f"smt:{job.pair[0]}+{job.pair[1]}@{job.second_base_pc}:"
+            f"{_fingerprint_text(job.config)}")
+
+
+class SweepOrchestrator:
+    """Plans, dedups and executes many figures' sweeps as one wave.
+
+    The orchestrator owns no execution machinery of its own: planning goes
+    through the runner's ``plan_jobs``/``plan_smt_jobs`` hooks, execution
+    through its ``_execute_wave`` hook and commits through the same in-memory
+    stores the serial pipeline uses, so serial and parallel runners (and any
+    future runner subclass) orchestrate without modification.
+    """
+
+    def __init__(self, runner: ExperimentRunner):
+        self.runner = runner
+        #: Stats of the most recent :meth:`execute` call.
+        self.stats: Optional[DedupStats] = None
+
+    # ---------------------------------------------------------------- planning
+
+    def _merge_plans(self, plans: Sequence[FigurePlan], shard: Optional[Shard]
+                     ) -> Tuple[Dict[str, ConfigLike],
+                                Dict[str, Tuple[ConfigLike, Optional[int], bool]],
+                                DedupStats]:
+        """Merge per-figure demand into unique config names + demand stats.
+
+        SMT budgets merge to the *loosest* request per config name: ``None``
+        (the full pair list) beats any bound, otherwise the maximum bound
+        wins, so every figure finds at least the pairs it asked for.
+
+        Two plans reusing one config *name* must mean the same config
+        *content* — otherwise committing a shared result under the merged
+        name would silently hand one figure another figure's data — so every
+        collision is checked by content fingerprint and a mismatch raises.
+        """
+        runner = self.runner
+        stats = DedupStats(figures=[plan.figure for plan in plans])
+        workload_names = list(runner.workloads())
+        if shard is not None:
+            workload_names = shard.select(workload_names)
+        fingerprints: Dict[str, str] = {}
+
+        def _content(config: ConfigLike) -> str:
+            # Materialise against *every* workload: builder configs may
+            # coincide on one trace yet diverge on another, and a collision
+            # must mean identity everywhere for the merge to be sound.
+            return "\n".join(
+                _fingerprint_text(runner._materialise_config(config, run))
+                for run in runner.workloads().values())
+
+        def _check_collision(kind: str, name: str, existing: ConfigLike,
+                             config: ConfigLike, figure: str) -> None:
+            key = f"{kind}:{name}"
+            if key not in fingerprints:
+                fingerprints[key] = _content(existing)
+            if _content(config) != fingerprints[key]:
+                raise ValueError(
+                    f"figure plans disagree on the contents of {kind} config "
+                    f"{name!r} (while merging {figure!r}); rename one of "
+                    f"them — a shared name must mean one configuration")
+
+        merged: Dict[str, ConfigLike] = {}
+        merged_smt: Dict[str, Tuple[ConfigLike, Optional[int], bool]] = {}
+        for plan in plans:
+            stats.planned += len(plan.configs) * len(workload_names)
+            for name, config in plan.configs.items():
+                if name in merged:
+                    _check_collision("single-thread", name, merged[name],
+                                     config, plan.figure)
+                else:
+                    merged[name] = config
+            if plan.smt_configs:
+                pairs = runner.smt_pairs(plan.smt_max_pairs)
+                if shard is not None:
+                    owned = set(shard.select(pairs))
+                    pairs = [pair for pair in pairs if pair in owned]
+                stats.planned += len(plan.smt_configs) * len(pairs)
+                for name, config in plan.smt_configs.items():
+                    previous = merged_smt.get(name)
+                    if previous is None:
+                        merged_smt[name] = (config, plan.smt_max_pairs,
+                                            plan.smt_max_pairs is None)
+                    else:
+                        _check_collision("SMT", name, previous[0], config,
+                                         plan.figure)
+                        _, bound, unbounded = previous
+                        unbounded = unbounded or plan.smt_max_pairs is None
+                        if not unbounded:
+                            bound = max(bound, plan.smt_max_pairs)
+                        merged_smt[name] = (previous[0], bound, unbounded)
+        return merged, merged_smt, stats
+
+    # --------------------------------------------------------------- execution
+
+    def execute(self, plans: Sequence[FigurePlan],
+                shard: Optional[Shard] = None) -> DedupStats:
+        """Run every plan's outstanding jobs as one deduped wave and commit.
+
+        After this returns, every ``(config name, workload)`` and
+        ``(config name, pair)`` the plans demanded is committed in the
+        runner's stores, so running the corresponding figure harnesses
+        performs zero simulations.  The commit is atomic in the same sense as
+        ``run_config``: a failure anywhere in the wave leaves every store
+        untouched.
+        """
+        runner = self.runner
+        merged, merged_smt, stats = self._merge_plans(plans, shard)
+        selected: Optional[List[str]] = None
+        if shard is not None:
+            selected = shard.select(list(runner.workloads()))
+
+        # Plan per unique config name, then group planned jobs by content.
+        sim_groups: Dict[str, List[SimulationJob]] = {}
+        for name, config in merged.items():
+            for job in runner.plan_jobs(name, config, workload_names=selected):
+                sim_groups.setdefault(_sim_identity(job), []).append(job)
+        smt_groups: Dict[str, List[SmtJob]] = {}
+        for name, (config, bound, unbounded) in merged_smt.items():
+            max_pairs = None if unbounded else bound
+            pairs = runner.smt_pairs(max_pairs)
+            if shard is not None:
+                owned = set(shard.select(pairs))
+                pairs = [pair for pair in pairs if pair in owned]
+            owned_pairs = set(pairs)
+            for job in runner.plan_smt_jobs(name, config, max_pairs):
+                if job.pair not in owned_pairs:
+                    continue
+                smt_groups.setdefault(_smt_identity(job), []).append(job)
+        stats.unique = len(sim_groups) + len(smt_groups)
+
+        # Stage each group's representative from the on-disk cache once.
+        staged_sim: Dict[str, SimulationResult] = {}
+        outstanding_sim: List[Tuple[str, SimulationJob]] = []
+        for identity, group in sim_groups.items():
+            representative = group[0]
+            cached = (runner.cache.get(representative.cache_key)
+                      if representative.cache_key is not None else None)
+            if cached is not None:
+                staged_sim[identity] = cached
+            else:
+                outstanding_sim.append((identity, representative))
+        staged_smt: Dict[str, SmtResult] = {}
+        outstanding_smt: List[Tuple[str, SmtJob]] = []
+        for identity, group in smt_groups.items():
+            representative = group[0]
+            cached = (runner.cache.get_smt(representative.cache_key)
+                      if representative.cache_key is not None else None)
+            if cached is not None:
+                staged_smt[identity] = cached
+            else:
+                outstanding_smt.append((identity, representative))
+        stats.cache_warm = len(staged_sim) + len(staged_smt)
+        stats.executed = len(outstanding_sim) + len(outstanding_smt)
+
+        # One continuously fed wave over every outstanding representative.
+        sim_results, smt_results = runner._execute_wave(
+            [job for _, job in outstanding_sim],
+            [job for _, job in outstanding_smt])
+        missing: List[str] = []
+        for identity, job in outstanding_sim:
+            result = sim_results.get((job.config_name, job.workload))
+            if result is None:
+                missing.append(f"{job.config_name}/{job.workload}")
+            else:
+                staged_sim[identity] = result
+        for identity, job in outstanding_smt:
+            result = smt_results.get((job.config_name, job.pair))
+            if result is None:
+                missing.append(f"smt:{job.config_name}/{'+'.join(job.pair)}")
+            else:
+                staged_smt[identity] = result
+        if missing:
+            raise RuntimeError(
+                f"wave executor returned no result for jobs {missing!r}")
+
+        # Commit every alias only after the whole wave succeeded — and before
+        # the disk-store writes, so a cache I/O failure cannot discard the
+        # finished wave (same ordering contract as run_config).
+        workloads = runner.workloads()
+        for identity, group in sim_groups.items():
+            result = staged_sim[identity]
+            for job in group:
+                workloads[job.workload].results[job.config_name] = \
+                    _relabelled(result, job.config_name)
+        for identity, group in smt_groups.items():
+            result = staged_smt[identity]
+            for job in group:
+                runner._smt_results.setdefault(job.config_name, {})[job.pair] = \
+                    _relabelled_smt(result, job.config_name)
+        if runner.cache is not None:
+            for identity, job in outstanding_sim:
+                if job.cache_key is not None:
+                    runner.cache.put(job.cache_key, staged_sim[identity])
+            for identity, job in outstanding_smt:
+                if job.cache_key is not None:
+                    runner.cache.put_smt(job.cache_key, staged_smt[identity])
+        self.stats = stats
+        return stats
+
+
+# ----------------------------------------------------------- figure plan registry
+
+def _ideal_builder(mode: IdealMode, lvp: Optional[str] = None):
+    """Mirror of the figure harnesses' oracle-driven config builder."""
+    from repro.experiments.figures import _ideal_builder as harness_builder
+    return harness_builder(mode, lvp)
+
+
+def _plan_fig3() -> FigurePlan:
+    """Fig. 3 consumes only traces and Load Inspector reports."""
+    return FigurePlan("fig3")
+
+
+def _plan_fig6() -> FigurePlan:
+    """Fig. 6: load-port utilisation under baseline + EVES."""
+    return FigurePlan("fig6", configs={"baseline+eves": eves_config()})
+
+
+def _plan_fig7() -> FigurePlan:
+    """Fig. 7: ideal-mechanism headroom sweeps."""
+    return FigurePlan("fig7", configs={
+        "baseline": baseline_config(),
+        "ideal_stable_lvp": _ideal_builder(IdealMode.STABLE_LVP),
+        "ideal_stable_lvp_fetch_elim":
+            _ideal_builder(IdealMode.STABLE_LVP_FETCH_ELIM),
+        "2x_load_width": baseline_config().with_load_width(6),
+        "ideal_constable": _ideal_builder(IdealMode.CONSTABLE),
+    })
+
+
+def _plan_fig9() -> FigurePlan:
+    """Fig. 9: SLD update rate and wrong-path sensitivity."""
+    return FigurePlan("fig9", configs={
+        "baseline": baseline_config(),
+        "constable": constable_config(),
+        "constable_wrong_path": constable_config(
+            constable=constable_engine_config(wrong_path_updates=True)),
+    })
+
+
+def _plan_fig11() -> FigurePlan:
+    """Fig. 11: the headline noSMT speedup sweep."""
+    return FigurePlan("fig11", configs={
+        "baseline": baseline_config(),
+        "eves": eves_config(),
+        "constable": constable_config(),
+        "eves+constable": eves_constable_config(),
+        "eves+ideal_constable": _ideal_builder(IdealMode.CONSTABLE, lvp="eves"),
+    })
+
+
+def _plan_fig12() -> FigurePlan:
+    """Fig. 12: per-workload speedups (subset of fig. 11's configs)."""
+    return FigurePlan("fig12", configs={
+        "baseline": baseline_config(),
+        "eves": eves_config(),
+        "constable": constable_config(),
+        "eves+constable": eves_constable_config(),
+    })
+
+
+def _plan_fig13() -> FigurePlan:
+    """Fig. 13: Constable restricted to single addressing-mode categories."""
+    configs: Dict[str, ConfigLike] = {"baseline": baseline_config()}
+    categories = {
+        "pc_relative_only": frozenset({AddressingMode.PC_RELATIVE}),
+        "stack_relative_only": frozenset({AddressingMode.STACK_RELATIVE}),
+        "register_relative_only": frozenset({AddressingMode.REG_RELATIVE}),
+    }
+    for name, modes in categories.items():
+        configs[name] = constable_config(
+            constable=constable_engine_config(eliminate_addressing_modes=modes))
+    configs["all_loads"] = constable_config()
+    return FigurePlan("fig13", configs=configs)
+
+
+def _plan_fig14() -> FigurePlan:
+    """Fig. 14: the SMT2 speedup sweep (harness default pair budget)."""
+    return FigurePlan("fig14", smt_configs={
+        "baseline": baseline_config(),
+        "eves": eves_config(),
+        "constable": constable_config(),
+        "eves+constable": eves_constable_config(),
+    }, smt_max_pairs=4)
+
+
+def _plan_fig15() -> FigurePlan:
+    """Fig. 15: prior works (ELAR, RFP) vs and with Constable."""
+    return FigurePlan("fig15", configs={
+        "baseline": baseline_config(),
+        "elar": elar_config(),
+        "rfp": rfp_config(),
+        "constable": constable_config(),
+        "elar+constable": elar_constable_config(),
+        "rfp+constable": rfp_constable_config(),
+    })
+
+
+def _plan_fig16() -> FigurePlan:
+    """Fig. 16: load coverage."""
+    return FigurePlan("fig16", configs={
+        "eves": eves_config(),
+        "constable": constable_config(),
+        "eves+constable": eves_constable_config(),
+        "eves+ideal_constable": _ideal_builder(IdealMode.CONSTABLE, lvp="eves"),
+    })
+
+
+def _plan_fig17() -> FigurePlan:
+    """Fig. 17: runtime coverage of global-stable loads."""
+    return FigurePlan("fig17", configs={"constable": constable_config()})
+
+
+def _plan_fig18() -> FigurePlan:
+    """Fig. 18: RS-allocation and L1-D access reduction."""
+    return FigurePlan("fig18", configs={
+        "baseline": baseline_config(),
+        "constable": constable_config(),
+    })
+
+
+def _plan_fig19() -> FigurePlan:
+    """Fig. 19: core dynamic power."""
+    return FigurePlan("fig19", configs={
+        "baseline": baseline_config(),
+        "eves": eves_config(),
+        "constable": constable_config(),
+        "eves+constable": eves_constable_config(),
+    })
+
+
+def _plan_fig20(load_widths: Sequence[int] = (3, 4, 5, 6),
+                depth_scales: Sequence[float] = (1.0, 2.0, 4.0)) -> FigurePlan:
+    """Fig. 20: the load-width / pipeline-depth sensitivity grids."""
+    configs: Dict[str, ConfigLike] = {"baseline": baseline_config()}
+    for width in load_widths:
+        configs[f"baseline_w{width}"] = baseline_config().with_load_width(width)
+        configs[f"constable_w{width}"] = constable_config().with_load_width(width)
+    for scale in depth_scales:
+        configs[f"baseline_d{scale}"] = baseline_config().with_depth_scale(scale)
+        configs[f"constable_d{scale}"] = constable_config().with_depth_scale(scale)
+    return FigurePlan("fig20", configs=configs)
+
+
+def _plan_fig21() -> FigurePlan:
+    """Fig. 21: memory-ordering violation cost."""
+    return FigurePlan("fig21", configs={
+        "baseline": baseline_config(),
+        "constable": constable_config(),
+    })
+
+
+def _plan_fig22() -> FigurePlan:
+    """Fig. 22: CV-bit pinning vs AMT invalidation."""
+    return FigurePlan("fig22", configs={
+        "baseline": baseline_config(),
+        "constable": constable_config(),
+        "constable_amt_i": constable_config(
+            constable=constable_engine_config(
+                amt_invalidate_on_l1_eviction=True, pin_cv_bits=False)),
+    })
+
+
+#: Plan factory per orchestratable figure harness.  Keys mirror
+#: :data:`repro.experiments.figures.FIGURE_HARNESSES` exactly; the
+#: plan/harness consistency test in ``tests/test_orchestrator.py`` asserts
+#: both that the key sets match and that a harness run after its own plan's
+#: wave performs zero simulations (i.e. the plan covers the harness fully).
+FIGURE_PLANS: Dict[str, Callable[[], FigurePlan]] = {
+    "fig3": _plan_fig3,
+    "fig6": _plan_fig6,
+    "fig7": _plan_fig7,
+    "fig9": _plan_fig9,
+    "fig11": _plan_fig11,
+    "fig12": _plan_fig12,
+    "fig13": _plan_fig13,
+    "fig14": _plan_fig14,
+    "fig15": _plan_fig15,
+    "fig16": _plan_fig16,
+    "fig17": _plan_fig17,
+    "fig18": _plan_fig18,
+    "fig19": _plan_fig19,
+    "fig20": _plan_fig20,
+    "fig21": _plan_fig21,
+    "fig22": _plan_fig22,
+}
+
+
+def orchestrate_figures(runner: ExperimentRunner, names: Sequence[str]
+                        ) -> Tuple[Dict[str, Dict[str, object]], DedupStats]:
+    """Run the named figure harnesses through one orchestrated wave.
+
+    Plans are collected for every name present in :data:`FIGURE_PLANS`,
+    deduped and executed as a single wave; the harnesses then run against the
+    warmed runner (zero simulations) in the order given.  Names without a plan
+    (standalone harnesses) are skipped here — callers dispatch those
+    separately.  Returns ``(results by figure name, dedup stats)``.
+    """
+    from repro.experiments.figures import FIGURE_HARNESSES
+
+    planned_names = [name for name in names if name in FIGURE_PLANS]
+    orchestrator = SweepOrchestrator(runner)
+    stats = orchestrator.execute([FIGURE_PLANS[name]() for name in planned_names])
+    results = {name: FIGURE_HARNESSES[name](runner) for name in planned_names}
+    return results, stats

@@ -100,6 +100,24 @@ def simulate_smt_job_payload(
     return (str(first_dict["name"]), str(second_dict["name"])), result
 
 
+def simulate_keyed_job_payload(payload: Tuple[str, Dict[str, object], int, int, CoreConfig]
+                               ) -> Tuple[str, Tuple[str, str], SimulationResult]:
+    """Worker entry point for wave execution: like :func:`simulate_job_payload`
+    but tagged and keyed by ``(config_name, workload)``, so one wave may carry
+    jobs for many configurations without the merged keys colliding."""
+    workload, result = simulate_job_payload(payload)
+    return "sim", (payload[0], workload), result
+
+
+def simulate_keyed_smt_job_payload(
+        payload: Tuple[str, Dict[str, object], Dict[str, object], int, int, int, CoreConfig]
+) -> Tuple[str, Tuple[str, Tuple[str, str]], SmtResult]:
+    """Worker entry point for wave execution of one SMT2 pair, keyed by
+    ``(config_name, pair)`` (see :func:`simulate_keyed_job_payload`)."""
+    pair, result = simulate_smt_job_payload(payload)
+    return "smt", (payload[0], pair), result
+
+
 def generate_workload_payload(payload: Tuple[Dict[str, object], int, int, bool]
                               ) -> Tuple[str, Trace, Optional[GlobalStableReport]]:
     """Worker entry point for cold-start generation: build a trace (+ report).
@@ -211,6 +229,42 @@ class ParallelExperimentRunner(ExperimentRunner):
                        self.num_registers, job.second_base_pc, job.config)
             futures.append(pool.submit(simulate_smt_job_payload, payload))
         return dict(self._collect(futures))
+
+    def _execute_wave(self, jobs: Sequence[SimulationJob],
+                      smt_jobs: Sequence[SmtJob] = ()
+                      ) -> Tuple[Dict[Tuple[str, str], SimulationResult],
+                                 Dict[Tuple[str, Tuple[str, str]], SmtResult]]:
+        """Feed a mixed multi-configuration batch into one pool submission.
+
+        Every job — single-thread and SMT alike, across every configuration in
+        the batch — is submitted up front and awaited once, so the pool stays
+        continuously fed for the whole wave instead of draining at each
+        per-configuration barrier.  Submission order is sorted by
+        ``(config_name, workload/pair)`` for a reproducible shard assignment;
+        results merge keyed by those same tuples, so completion order never
+        affects the merged value.
+        """
+        if len(jobs) + len(smt_jobs) <= 1 or self.max_workers == 1:
+            return super()._execute_wave(jobs, smt_jobs)
+        pool = self._executor()
+        futures = []
+        for job in sorted(jobs, key=lambda job: (job.config_name, job.workload)):
+            payload = (job.config_name, job.run.spec.to_dict(),
+                       self.instructions, self.num_registers, job.config)
+            futures.append(pool.submit(simulate_keyed_job_payload, payload))
+        for job in sorted(smt_jobs, key=lambda job: (job.config_name, job.pair)):
+            payload = (job.config_name, job.run.spec.to_dict(),
+                       job.second_spec.to_dict(), self.instructions,
+                       self.num_registers, job.second_base_pc, job.config)
+            futures.append(pool.submit(simulate_keyed_smt_job_payload, payload))
+        sim_results: Dict[Tuple[str, str], SimulationResult] = {}
+        smt_results: Dict[Tuple[str, Tuple[str, str]], SmtResult] = {}
+        for kind, key, result in self._collect(futures):
+            if kind == "sim":
+                sim_results[key] = result
+            else:
+                smt_results[key] = result
+        return sim_results, smt_results
 
     # --------------------------------------------------------------- generation
 

@@ -42,6 +42,25 @@ def format_mapping(mapping: Mapping[str, object], title: str = "") -> str:
                         title=title)
 
 
+def format_dedup_stats(stats, title: str = "orchestrated wave") -> str:
+    """Render a :class:`~repro.experiments.orchestrator.DedupStats` record.
+
+    Accepts the dataclass itself or its ``to_dict()`` form, so bench reports
+    loaded back from JSON render identically to live runs.
+    """
+    payload = stats.to_dict() if hasattr(stats, "to_dict") else dict(stats)
+    rows = [
+        ("figures", len(payload.get("figures", []))),
+        ("jobs planned", payload["planned"]),
+        ("unique after dedup", payload["unique"]),
+        ("shared across figures",
+         payload.get("deduped", payload["planned"] - payload["unique"])),
+        ("cache-warm", payload["cache_warm"]),
+        ("executed", payload["executed"]),
+    ]
+    return format_table(["metric", "count"], rows, title=title)
+
+
 def per_suite_table(per_suite: Mapping[str, Mapping[str, float]],
                     value_format=format_speedup, title: str = "") -> str:
     """Render a {suite: {config: value}} mapping in the paper's figure layout."""

@@ -141,6 +141,7 @@ class SimulationJob:
 
     @property
     def workload(self) -> str:
+        """The planned workload's name (the result-dictionary key)."""
         return self.run.spec.name
 
 
@@ -288,17 +289,53 @@ class ExperimentRunner:
                                       config=core_config, cache_key=cache_key))
         return jobs
 
+    def _simulate_job(self, job: SimulationJob) -> SimulationResult:
+        """Simulate one planned single-thread job in-process."""
+        core = OutOfOrderCore(job.config, [job.run.trace], name=job.config_name)
+        return core.run()
+
+    def _simulate_smt_job(self, job: SmtJob) -> SmtResult:
+        """Simulate one planned SMT2 job in-process.
+
+        The second thread's trace is regenerated at ``second_base_pc`` so the
+        two threads do not alias in the PC-indexed predictors.
+        """
+        second_trace = generate_trace(job.second_spec,
+                                      num_instructions=self.instructions,
+                                      num_registers=self.num_registers,
+                                      base_pc=job.second_base_pc)
+        return simulate_smt_pair(job.run.trace, second_trace,
+                                 job.config, name=job.config_name)
+
     def _execute_jobs(self, jobs: Sequence[SimulationJob]) -> Dict[str, SimulationResult]:
         """Simulate every planned job serially; subclasses override to shard.
 
         Returns results keyed by workload name, so merging is independent of
         execution/completion order.
         """
-        results: Dict[str, SimulationResult] = {}
-        for job in jobs:
-            core = OutOfOrderCore(job.config, [job.run.trace], name=job.config_name)
-            results[job.workload] = core.run()
-        return results
+        return {job.workload: self._simulate_job(job) for job in jobs}
+
+    def _execute_wave(self, jobs: Sequence[SimulationJob],
+                      smt_jobs: Sequence[SmtJob] = ()
+                      ) -> Tuple[Dict[Tuple[str, str], SimulationResult],
+                                 Dict[Tuple[str, Tuple[str, str]], SmtResult]]:
+        """Execute a mixed multi-configuration batch as one wave.
+
+        Unlike :meth:`_execute_jobs`, whose result dictionary is keyed by
+        workload alone (one configuration per call), a wave may carry jobs for
+        *many* configurations at once, so results are keyed by
+        ``(config_name, workload)`` and ``(config_name, pair)``.  The serial
+        implementation just loops; the parallel runner overrides this to feed
+        every job — single-thread and SMT alike — into one process pool
+        submission, so the pool never drains between configurations or figure
+        harnesses.  This is the execution hook behind the cross-figure
+        :class:`~repro.experiments.orchestrator.SweepOrchestrator`.
+        """
+        sim_results = {(job.config_name, job.workload): self._simulate_job(job)
+                       for job in jobs}
+        smt_results = {(job.config_name, job.pair): self._simulate_smt_job(job)
+                       for job in smt_jobs}
+        return sim_results, smt_results
 
     def _stage_cached_jobs(self, jobs: Sequence[SimulationJob]
                            ) -> Tuple[Dict[str, SimulationResult], List[SimulationJob]]:
@@ -409,6 +446,7 @@ class ExperimentRunner:
         return speedups
 
     def geomean_speedup(self, config_name: str, baseline_name: str = "baseline") -> float:
+        """Geomean of :meth:`speedups` over every workload with both results."""
         return filtered_geomean(self.speedups(config_name, baseline_name).values())
 
     def speedups_by_suite(self, config_name: str,
@@ -487,19 +525,10 @@ class ExperimentRunner:
                           ) -> Dict[Tuple[str, str], SmtResult]:
         """Simulate every planned SMT job serially; subclasses override to shard.
 
-        The second thread's trace is regenerated at ``second_base_pc`` so the
-        two threads do not alias in the PC-indexed predictors.  Results are
-        keyed by pair, so merging is independent of execution order.
+        Results are keyed by pair, so merging is independent of execution
+        order.
         """
-        results: Dict[Tuple[str, str], SmtResult] = {}
-        for job in jobs:
-            second_trace = generate_trace(job.second_spec,
-                                          num_instructions=self.instructions,
-                                          num_registers=self.num_registers,
-                                          base_pc=job.second_base_pc)
-            results[job.pair] = simulate_smt_pair(job.run.trace, second_trace,
-                                                  job.config, name=job.config_name)
-        return results
+        return {job.pair: self._simulate_smt_job(job) for job in jobs}
 
     def _stage_cached_smt_jobs(self, jobs: Sequence[SmtJob]
                                ) -> Tuple[Dict[Tuple[str, str], SmtResult], List[SmtJob]]:

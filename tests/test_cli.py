@@ -383,12 +383,14 @@ def test_bench_cli_writes_report(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "repro bench" in out and str(output) in out
     payload = json.loads(output.read_text(encoding="utf-8"))
-    assert payload["schema"] == 1
+    from repro.experiments.bench import BENCH_SCHEMA_VERSION
+    assert payload["schema"] == BENCH_SCHEMA_VERSION
     assert payload["identical"] is True
     assert payload["engines"] == ["cycle", "event"]
     family = payload["families"]["sensitivity"]
     assert family["speedup"] > 0
     assert all(job["identical"] for job in family["jobs"])
+    assert "orchestrator" not in payload, "only --orchestrator adds the section"
 
 
 def test_bench_cli_rejects_unknown_family_and_engine(tmp_path, capsys):
@@ -400,6 +402,97 @@ def test_bench_cli_rejects_unknown_family_and_engine(tmp_path, capsys):
     assert "engine" in capsys.readouterr().err
 
 
+def test_bench_cli_rejects_workers_without_orchestrator(tmp_path, capsys):
+    assert main(["bench", "--workers", "4",
+                 "--output", str(tmp_path / "b.json")]) == 2
+    assert "--orchestrator" in capsys.readouterr().err
+
+
+def test_bench_reports_default_into_bench_reports_dir(tmp_path, monkeypatch):
+    from repro.experiments.bench import BENCH_REPORTS_DIR, write_bench_report
+
+    monkeypatch.chdir(tmp_path)
+    path = write_bench_report({"schema": 2})
+    assert path.parent.name == BENCH_REPORTS_DIR
+    assert path.name.startswith("BENCH_") and path.suffix == ".json"
+
+
+def test_latest_bench_report_prefers_new_dir_and_warns_on_legacy(tmp_path):
+    from repro.experiments.bench import latest_bench_report
+
+    new_dir = tmp_path / "bench_reports"
+    assert latest_bench_report(new_dir, legacy_directory=tmp_path) is None
+    legacy = tmp_path / "BENCH_20250101T000000Z.json"
+    legacy.write_text('{"schema": 1}', encoding="utf-8")
+    with pytest.warns(DeprecationWarning, match="bench_reports"):
+        path, payload = latest_bench_report(new_dir, legacy_directory=tmp_path)
+    assert path == legacy and payload["schema"] == 1
+    new_dir.mkdir()
+    newer = new_dir / "BENCH_20260101T000000Z.json"
+    newer.write_text('{"schema": 2}', encoding="utf-8")
+    path, payload = latest_bench_report(new_dir, legacy_directory=tmp_path)
+    assert path == newer and payload["schema"] == 2
+
+
+def _gate_payload(quick: bool, wall: float) -> dict:
+    return {"quick": quick, "families": {
+        "speedup": {"totals": {"event": {"wall_seconds": wall}}}}}
+
+
+def test_perf_gate_flags_only_regressions_past_threshold():
+    from repro.experiments.bench import perf_gate
+
+    reference = _gate_payload(True, 10.0)
+    assert perf_gate(_gate_payload(True, 14.9), reference) == []
+    problems = perf_gate(_gate_payload(True, 15.1), reference)
+    # Both the family and the aggregate (same numbers here) trip.
+    assert len(problems) == 2 and "speedup/event" in problems[0]
+    assert "aggregate/event" in problems[1]
+    # Cross-budget comparisons are vacuous, unknown families skipped.
+    assert perf_gate(_gate_payload(False, 99.0), reference) == []
+    assert perf_gate({"quick": True, "families": {"other": {}}}, reference) == []
+    with pytest.raises(ValueError):
+        perf_gate(_gate_payload(True, 1.0), reference, threshold=1.0)
+
+
+def test_perf_gate_ignores_sub_floor_walls_but_gates_the_aggregate():
+    from repro.experiments.bench import perf_gate
+
+    # Individually tiny families are timer noise: no per-family verdicts even
+    # at a 10x blowup, and the 0.2s aggregate stays under the 0.5s floor.
+    reference = {"quick": True, "families": {
+        f: {"totals": {"event": {"wall_seconds": 0.1}}} for f in ("a", "b")}}
+    noisy = {"quick": True, "families": {
+        f: {"totals": {"event": {"wall_seconds": 1.0}}} for f in ("a", "b")}}
+    assert perf_gate(noisy, reference) == []
+    # Enough tiny families to clear the aggregate floor: a broad slowdown
+    # spread thinly across them is still caught (aggregate only).
+    reference["families"].update(
+        {f: {"totals": {"event": {"wall_seconds": 0.1}}}
+         for f in ("c", "d", "e")})
+    noisy["families"].update(
+        {f: {"totals": {"event": {"wall_seconds": 1.0}}}
+         for f in ("c", "d", "e")})
+    problems = perf_gate(noisy, reference)
+    assert len(problems) == 1 and "aggregate/event" in problems[0]
+
+
+def test_orchestrator_bench_measures_and_verifies(tmp_path):
+    from repro.experiments.bench import run_orchestrator_bench
+
+    section = run_orchestrator_bench(quick=True, workers=2, per_suite=1,
+                                     instructions=500,
+                                     figures=("fig11", "fig13"))
+    assert section["identical"] is True
+    assert section["dedup"]["deduped"] > 0
+    assert section["serial_wall_seconds"] > 0
+    assert section["orchestrated_wall_seconds"] > 0
+    assert section["speedup"] == pytest.approx(
+        section["serial_wall_seconds"] / section["orchestrated_wall_seconds"])
+    with pytest.raises(ValueError):
+        run_orchestrator_bench(figures=("not_a_figure",))
+
+
 # --------------------------------------------------------------------- figures
 
 def test_figures_cli_warm_run_performs_zero_simulations(tmp_path, simulation_counter):
@@ -409,6 +502,38 @@ def test_figures_cli_warm_run_performs_zero_simulations(tmp_path, simulation_cou
     assert cold_sims > 0
     assert main(fig_args) == 0, "a warm rerun must satisfy --expect-warm"
     assert simulation_counter["count"] == cold_sims
+
+
+def test_figures_cli_prints_dedup_stats_only_when_orchestrating(tmp_path, capsys):
+    args = ["figures", "fig11"] + _runner_args(tmp_path)
+    assert main(args) == 0
+    assert "orchestrated wave" in capsys.readouterr().out
+    assert main(args + ["--no-orchestrate"]) == 0
+    assert "orchestrated wave" not in capsys.readouterr().out
+
+
+def test_orchestrate_env_flips_the_default(tmp_path, capsys, monkeypatch):
+    from repro.cli import ORCHESTRATE_ENV
+
+    monkeypatch.setenv(ORCHESTRATE_ENV, "0")
+    assert main(["figures", "fig11"] + _runner_args(tmp_path)) == 0
+    assert "orchestrated wave" not in capsys.readouterr().out
+    # The explicit flag beats the environment.
+    assert main(["figures", "fig11", "--orchestrate"]
+                + _runner_args(tmp_path)) == 0
+    assert "orchestrated wave" in capsys.readouterr().out
+
+
+def test_orchestrated_and_serial_figures_cli_share_cache_bit_identically(
+        tmp_path, capsys):
+    """The CLI's orchestrated path warms a cache the serial path then reuses."""
+    args = _runner_args(tmp_path)
+    assert main(["figures", "fig11", "--json"] + args) == 0
+    orchestrated, _ = json.JSONDecoder().raw_decode(capsys.readouterr().out)
+    assert main(["figures", "fig11", "--json", "--no-orchestrate",
+                 "--expect-warm"] + args) == 0
+    serial, _ = json.JSONDecoder().raw_decode(capsys.readouterr().out)
+    assert orchestrated == serial
 
 
 def test_figures_cli_rejects_unknown_figure(tmp_path):

@@ -1,0 +1,74 @@
+"""Docstring-coverage gate over the public ``repro.experiments`` API.
+
+CI enforces the same contract with ruff's D1xx rules (see ``ruff.toml``); this
+in-process mirror keeps the tier-1 suite authoritative in environments where
+ruff is not installed, so coverage cannot regress silently either way.
+
+The contract: every public module, class, function and method defined inside
+``repro.experiments`` carries a non-empty docstring.  Private names
+(``_leading_underscore``), dunders and members inherited from elsewhere are
+exempt, matching the ruff configuration (D105/D107 ignored).
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+from typing import Iterator, List, Tuple
+
+import repro.experiments
+
+PACKAGE = "repro.experiments"
+
+
+def _experiment_modules() -> List[object]:
+    modules = [repro.experiments]
+    for info in pkgutil.iter_modules(repro.experiments.__path__,
+                                     prefix=PACKAGE + "."):
+        modules.append(importlib.import_module(info.name))
+    return modules
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _undocumented_in(module) -> Iterator[Tuple[str, str]]:
+    """Yield (qualified name, kind) for every undocumented public member."""
+    if not (module.__doc__ or "").strip():
+        yield module.__name__, "module"
+    for name, member in vars(module).items():
+        if not _is_public(name):
+            continue
+        if inspect.isclass(member) or inspect.isfunction(member):
+            if getattr(member, "__module__", None) != module.__name__:
+                continue  # re-export; documented where it is defined
+            if not (member.__doc__ or "").strip():
+                yield f"{module.__name__}.{name}", type(member).__name__
+            if inspect.isclass(member):
+                yield from _undocumented_members(module.__name__, member)
+
+
+def _undocumented_members(module_name: str, cls) -> Iterator[Tuple[str, str]]:
+    for name, member in vars(cls).items():
+        if not _is_public(name):
+            continue
+        if isinstance(member, property):
+            target = member.fget
+        elif inspect.isfunction(member):
+            target = member
+        else:
+            continue
+        if target is None or (target.__doc__ or "").strip():
+            continue
+        yield f"{module_name}.{cls.__name__}.{name}", "method"
+
+
+def test_public_experiments_api_is_fully_documented():
+    """Mirror of the CI ruff D1xx gate: no public member may lack a docstring."""
+    missing = [item for module in _experiment_modules()
+               for item in _undocumented_in(module)]
+    assert not missing, (
+        "undocumented public experiments API members (add docstrings; "
+        f"CI enforces this via ruff D rules): {sorted(missing)}")
