@@ -40,8 +40,13 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.bench import (
     BENCH_FAMILIES,
+    BENCH_REPORTS_DIR,
+    BENCH_REPS_ENV,
+    DEFAULT_BENCH_REPS,
     ORCHESTRATOR_BENCH_FIGURES,
+    format_bench_history,
     format_bench_table,
+    load_bench_history,
     run_bench,
     run_orchestrator_bench,
     write_bench_report,
@@ -69,7 +74,11 @@ from repro.experiments.orchestrator import (
     orchestrate_figures,
 )
 from repro.pipeline.cpu import CORE_ENGINES
-from repro.experiments.reporting import format_dedup_stats, format_table
+from repro.experiments.reporting import (
+    format_dedup_stats,
+    format_persisted_dedup,
+    format_table,
+)
 from repro.experiments.runner import ExperimentRunner, Shard
 from repro.workloads.suites import SUITE_NAMES
 
@@ -160,6 +169,27 @@ def _print_verify_report(report: CacheVerifyReport, as_json: bool) -> None:
             print(f"  {label}: {path}")
 
 
+def _expect_warm_violated(simulated: int, inspected: int, wave_stats) -> bool:
+    """Report (to stderr) and detect an ``--expect-warm`` violation.
+
+    Checks the harness-side counters *and* the orchestrator's own accounting:
+    ``wave_stats.executed`` counts jobs the wave actually simulated, which
+    catches cold work even when no cache is attached to count stores, and
+    ``cold_jobs`` names the offenders so a mis-warmed sweep is debuggable from
+    the CI log alone.
+    """
+    wave_cold = wave_stats.executed if wave_stats is not None else 0
+    if simulated <= 0 and inspected <= 0 and wave_cold <= 0:
+        return False
+    print(f"--expect-warm violated: {simulated} simulations, {inspected} "
+          f"inspection passes and {wave_cold} cold orchestrator jobs executed",
+          file=sys.stderr)
+    if wave_cold:
+        for label in wave_stats.cold_jobs:
+            print(f"  cold job: {label}", file=sys.stderr)
+    return True
+
+
 # ------------------------------------------------------------------- commands
 
 def _print_persisted_counters(counters: Dict[str, object]) -> None:
@@ -174,6 +204,9 @@ def _print_persisted_counters(counters: Dict[str, object]) -> None:
     print(f"  {'total':<14}: hits {total['hits']} misses {total['misses']} "
           f"stores {total['stores']} evictions {total['evictions']} "
           f"(hit rate {rate})")
+    dedup = counters.get("dedup") or {}
+    if dedup.get("waves"):
+        print(format_persisted_dedup(dedup))
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -264,6 +297,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     smt_configs = _parse_config_subset(args.smt_configs, sweep_smt_configs(),
                                        "SMT configs")
     orchestrate = _resolve_orchestrate(args.orchestrate)
+    wave_stats = None
     with _build_runner(args) as runner:
         label = f"shard {shard.index}/{shard.count}" if shard else "full sweep"
         print(f"{label}: {len(runner.specs())} workloads, "
@@ -275,8 +309,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             # committed results without simulating anything.
             plan = FigurePlan("sweep", configs=configs, smt_configs=smt_configs,
                               smt_max_pairs=args.max_pairs)
-            stats = SweepOrchestrator(runner).execute([plan], shard=shard)
-            print(format_dedup_stats(stats, title="orchestrated wave"))
+            wave_stats = SweepOrchestrator(runner).execute([plan], shard=shard)
+            print(format_dedup_stats(wave_stats, title="orchestrated wave"))
         for name, config in configs.items():
             before = runner.cache.stats.stores
             results = runner.run_config(name, config, shard=shard)
@@ -301,9 +335,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             if rows:
                 print(format_table(["config", "geomean speedup"], rows,
                                    title="merged sweep summary"))
-    if args.expect_warm and (simulated > 0 or inspected > 0):
-        print(f"--expect-warm violated: {simulated} simulations and "
-              f"{inspected} inspection passes executed", file=sys.stderr)
+    if args.expect_warm and _expect_warm_violated(simulated, inspected,
+                                                  wave_stats):
         return 2
     return 0
 
@@ -350,14 +383,29 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         hits = runner.cache.stats.hits if runner.cache is not None else 0
         print(f"done: {simulated} simulated, {hits} cache hits, "
               f"{inspected} inspection passes")
-    if args.expect_warm and (simulated > 0 or inspected > 0):
-        print(f"--expect-warm violated: {simulated} simulations and "
-              f"{inspected} inspection passes executed", file=sys.stderr)
+    if args.expect_warm and _expect_warm_violated(simulated, inspected,
+                                                  dedup_stats):
         return 2
     return 0
 
 
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    entries = load_bench_history(directory=args.dir,
+                                 legacy_directory=args.legacy_dir)
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    if not entries:
+        print(f"no bench reports found under {args.dir} (or {args.legacy_dir})",
+              file=sys.stderr)
+        return 1
+    print(format_bench_history(entries))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if getattr(args, "bench_command", None) == "history":
+        return _cmd_bench_history(args)
     engines = [name.strip() for name in args.engines.split(",") if name.strip()]
     families = None
     if args.families:
@@ -370,11 +418,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
     try:
         payload = run_bench(quick=args.quick, engines=engines, families=families,
-                            instructions=args.instructions)
+                            instructions=args.instructions, reps=args.reps,
+                            discard_warmup=not args.keep_warmup)
         if args.orchestrator:
             payload["orchestrator"] = run_orchestrator_bench(
                 quick=args.quick, workers=args.workers,
-                instructions=args.instructions)
+                instructions=args.instructions, reps=args.reps,
+                discard_warmup=not args.keep_warmup)
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -452,8 +502,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser(
         "bench", help="measure simulator wall-clock performance per figure "
                       "family and write a BENCH_<timestamp>.json report")
+    bench_commands = bench.add_subparsers(dest="bench_command")
+    history = bench_commands.add_parser(
+        "history", help="render the perf trajectory across every accumulated "
+                        "BENCH_*.json report")
+    history.add_argument("--dir", default=BENCH_REPORTS_DIR,
+                         help=f"report directory (default: {BENCH_REPORTS_DIR})")
+    history.add_argument("--legacy-dir", default=".",
+                         help="pre-bench_reports/ location also scanned "
+                              "(default: the working directory)")
+    history.add_argument("--json", action="store_true",
+                         help="machine-readable output")
     bench.add_argument("--quick", action="store_true",
                        help="reduced instruction budgets (CI perf-smoke mode)")
+    bench.add_argument("--reps", type=int, default=None,
+                       help="repetitions per measurement; median-of-N walls "
+                            f"(default: ${BENCH_REPS_ENV} or "
+                            f"{DEFAULT_BENCH_REPS})")
+    bench.add_argument("--keep-warmup", action="store_true",
+                       help="include the first (warm-up) repetition in the "
+                            "statistics instead of discarding it")
     bench.add_argument("--families", default=None,
                        help="comma-separated family subset "
                             f"(default: all of {', '.join(BENCH_FAMILIES)})")

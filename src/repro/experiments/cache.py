@@ -90,6 +90,11 @@ STATS_SUBDIR = ".stats"
 #: The four counters a ledger records (mirrors :meth:`CacheStats.as_dict`).
 _LEDGER_COUNTERS = ("hits", "misses", "stores", "evictions")
 
+#: The counters of an orchestrated wave's dedup block.  ``waves`` counts the
+#: ledger's folded wave records (1 per fresh ledger, summed by compaction), so
+#: rates stay computable after any number of compaction passes.
+_DEDUP_COUNTERS = ("waves", "planned", "unique", "cache_warm", "executed")
+
 #: A compaction lock older than this is from a dead compactor and may be broken.
 _COMPACT_LOCK_STALE_SECONDS = 3600.0
 
@@ -182,13 +187,16 @@ def _ledger_dir(directory: Optional[Union[str, Path]]) -> Path:
 
 
 def _read_ledgers(stats_dir: Path
-                  ) -> Tuple[List[Tuple[Path, str, Dict[str, int]]], List[Path]]:
+                  ) -> Tuple[List[Tuple[Path, str, Dict[str, int],
+                                        Optional[Dict[str, int]]]], List[Path]]:
     """Parseable ledgers as ``(live entries, superseded leftovers)``.
 
-    Entries are ``(path, cache class, counters)`` with counters normalised to
-    :data:`_LEDGER_COUNTERS` (missing keys read as zero).  Unreadable or
-    malformed ledgers are skipped — one bad writer must never poison
-    observability for every host sharing the directory.
+    Entries are ``(path, cache class, counters, dedup)`` with counters
+    normalised to :data:`_LEDGER_COUNTERS` (missing keys read as zero) and
+    ``dedup`` the optional orchestrator-wave block normalised to
+    :data:`_DEDUP_COUNTERS` (None when the ledger carries no dedup data).
+    Unreadable or malformed ledgers are skipped — one bad writer must never
+    poison observability for every host sharing the directory.
 
     A compacted ledger lists the source files it folded; any of those still
     on disk (a compactor died between writing its output and unlinking the
@@ -196,7 +204,7 @@ def _read_ledgers(stats_dir: Path
     the crash window can never double-count — aggregation reads either the
     compacted sums or the originals, never both.
     """
-    entries: List[Tuple[Path, str, Dict[str, int]]] = []
+    entries: List[Tuple[Path, str, Dict[str, int], Optional[Dict[str, int]]]] = []
     superseded: Set[str] = set()
     if not stats_dir.is_dir():
         return entries, []
@@ -208,11 +216,15 @@ def _read_ledgers(stats_dir: Path
             counters = {name: int(raw.get(name, 0)) for name in _LEDGER_COUNTERS}
             cache_name = str(payload.get("cache", "unknown"))
             folded = [str(name) for name in payload.get("folded", [])]
+            raw_dedup = payload.get("dedup")
+            dedup = (None if raw_dedup is None else
+                     {name: int(raw_dedup.get(name, 0))
+                      for name in _DEDUP_COUNTERS})
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
             continue
         superseded.update(folded)
-        entries.append((path, cache_name, counters))
-    stale = [path for path, _, _ in entries if path.name in superseded]
+        entries.append((path, cache_name, counters, dedup))
+    stale = [path for path, _, _, _ in entries if path.name in superseded]
     live = [entry for entry in entries if entry[0].name not in superseded]
     return live, stale
 
@@ -293,12 +305,17 @@ def compact_persisted_stats(directory: Optional[Union[str, Path]] = None) -> int
             except OSError:
                 pass
         by_cache: Dict[str, Dict[str, int]] = {}
+        by_cache_dedup: Dict[str, Dict[str, int]] = {}
         sources: Dict[str, List[Path]] = {}
         folded: List[Path] = []
-        for path, cache_name, counters in live:
+        for path, cache_name, counters, dedup in live:
             bucket = by_cache.setdefault(cache_name, {})
             for name, value in counters.items():
                 bucket[name] = bucket.get(name, 0) + value
+            if dedup is not None:
+                dedup_bucket = by_cache_dedup.setdefault(cache_name, {})
+                for name, value in dedup.items():
+                    dedup_bucket[name] = dedup_bucket.get(name, 0) + value
             sources.setdefault(cache_name, []).append(path)
             folded.append(path)
         if len(folded) <= len(by_cache):
@@ -312,6 +329,8 @@ def compact_persisted_stats(directory: Optional[Union[str, Path]] = None) -> int
                        "pid": os.getpid(), "written_at": time.time(),
                        "counters": counters, "compacted": True,
                        "folded": [path.name for path in sources[cache_name]]}
+            if cache_name in by_cache_dedup:
+                payload["dedup"] = by_cache_dedup[cache_name]
             target = _write_ledger(stats_dir, payload,
                                    f"compacted-{uuid.uuid4().hex}.stats")
             if target is None:
@@ -344,22 +363,58 @@ def persisted_cache_stats(directory: Optional[Union[str, Path]] = None
     """Aggregate every persisted counter ledger under ``directory``.
 
     Returns ``{"ledgers": n, "total": {hits, misses, stores, evictions},
-    "by_cache": {<cache class>: {...}}}`` summed over all ledger files —
-    i.e. over every process (and every shard host writing to a shared
-    directory) that flushed its counters via :meth:`JsonDiskCache.persist_stats`.
+    "by_cache": {<cache class>: {...}}, "dedup": {waves, planned, unique,
+    deduped, cache_warm, executed}}`` summed over all ledger files — i.e.
+    over every process (and every shard host writing to a shared directory)
+    that flushed its counters via :meth:`JsonDiskCache.persist_stats`, plus
+    every orchestrated wave streamed in via :func:`persist_dedup_stats`.
     Unreadable ledgers are skipped; an empty or missing directory aggregates
     to all-zero counters.
     """
     zero = {name: 0 for name in _LEDGER_COUNTERS}
-    summary: Dict[str, object] = {"ledgers": 0, "total": dict(zero), "by_cache": {}}
+    dedup_total = {name: 0 for name in _DEDUP_COUNTERS}
+    summary: Dict[str, object] = {"ledgers": 0, "total": dict(zero),
+                                  "by_cache": {}}
     live, _ = _read_ledgers(_ledger_dir(directory))
-    for _, cache_name, counters in live:
+    for _, cache_name, counters, dedup in live:
         summary["ledgers"] += 1
         bucket = summary["by_cache"].setdefault(cache_name, dict(zero))
         for counter, value in counters.items():
             bucket[counter] += value
             summary["total"][counter] += value
+        if dedup is not None:
+            for counter, value in dedup.items():
+                dedup_total[counter] += value
+    dedup_total["deduped"] = dedup_total["planned"] - dedup_total["unique"]
+    summary["dedup"] = dedup_total
     return summary
+
+
+#: Ledger cache-class name under which orchestrator waves record dedup stats.
+DEDUP_LEDGER_CLASS = "SweepOrchestrator"
+
+
+def persist_dedup_stats(directory: Union[str, Path],
+                        dedup: Dict[str, object]) -> Optional[Path]:
+    """Stream one orchestrated wave's dedup stats into the counter ledger.
+
+    ``dedup`` is a :meth:`~repro.experiments.orchestrator.DedupStats.to_dict`
+    payload; its planned/unique/cache_warm/executed counts are written as one
+    ledger file (class :data:`DEDUP_LEDGER_CLASS`, zero cache counters so old
+    readers still parse it) under ``<directory>/.stats/``.
+    :func:`persisted_cache_stats` sums the blocks, which is how ``repro cache
+    stats`` reports cross-host dedup rates for a shared sweep directory.
+    Like every ledger write, failures are swallowed — observability, never a
+    correctness requirement.
+    """
+    block = {name: int(dedup.get(name, 0)) for name in _DEDUP_COUNTERS}
+    block["waves"] = 1
+    payload = {"schema": SCHEMA_VERSION, "cache": DEDUP_LEDGER_CLASS,
+               "pid": os.getpid(), "written_at": time.time(),
+               "counters": {name: 0 for name in _LEDGER_COUNTERS},
+               "dedup": block}
+    return _write_ledger(Path(directory) / STATS_SUBDIR, payload,
+                         f"{os.getpid()}-{uuid.uuid4().hex}.stats")
 
 
 #: How to decode each entry kind's record body; single-thread result entries

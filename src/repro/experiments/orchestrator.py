@@ -55,7 +55,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.ideal import IdealMode
-from repro.experiments.cache import config_fingerprint
+from repro.experiments.cache import config_fingerprint, persist_dedup_stats
 from repro.experiments.configs import (
     baseline_config,
     constable_config,
@@ -106,6 +106,9 @@ class DedupStats:
     simulate.  ``unique`` is the job count after merging identical names and
     grouping by content fingerprint; ``cache_warm`` of those came from the
     on-disk cache and ``executed`` were actually simulated in the wave.
+    ``cold_jobs`` names each executed job (``config/workload`` or
+    ``smt:config/first+second``) so an ``--expect-warm`` violation can say
+    exactly *which* jobs ran cold instead of just how many.
     """
 
     figures: List[str] = field(default_factory=list)
@@ -113,6 +116,7 @@ class DedupStats:
     unique: int = 0
     cache_warm: int = 0
     executed: int = 0
+    cold_jobs: List[str] = field(default_factory=list)
 
     @property
     def deduped(self) -> int:
@@ -128,6 +132,7 @@ class DedupStats:
             "deduped": self.deduped,
             "cache_warm": self.cache_warm,
             "executed": self.executed,
+            "cold_jobs": list(self.cold_jobs),
         }
 
 
@@ -328,6 +333,10 @@ class SweepOrchestrator:
                 outstanding_smt.append((identity, representative))
         stats.cache_warm = len(staged_sim) + len(staged_smt)
         stats.executed = len(outstanding_sim) + len(outstanding_smt)
+        stats.cold_jobs = (
+            [f"{job.config_name}/{job.workload}" for _, job in outstanding_sim]
+            + [f"smt:{job.config_name}/{'+'.join(job.pair)}"
+               for _, job in outstanding_smt])
 
         # One continuously fed wave over every outstanding representative.
         sim_results, smt_results = runner._execute_wave(
@@ -371,6 +380,10 @@ class SweepOrchestrator:
             for identity, job in outstanding_smt:
                 if job.cache_key is not None:
                     runner.cache.put_smt(job.cache_key, staged_smt[identity])
+            # Stream this wave's dedup accounting into the cache directory's
+            # counter ledger so `repro cache stats` reports cross-host
+            # planned/unique/cache-warm dedup rates alongside hit rates.
+            persist_dedup_stats(runner.cache.directory, stats.to_dict())
         self.stats = stats
         return stats
 

@@ -61,6 +61,32 @@ def format_dedup_stats(stats, title: str = "orchestrated wave") -> str:
     return format_table(["metric", "count"], rows, title=title)
 
 
+def format_persisted_dedup(dedup: Mapping[str, int],
+                           title: str = "orchestrated waves (all processes)"
+                           ) -> str:
+    """Render the ledger-aggregated dedup block of ``persisted_cache_stats``.
+
+    Counts are sums over every orchestrated wave that streamed its stats into
+    the cache directory (possibly from several shard hosts); the dedup and
+    cache-warm *rates* are what a shared sweep directory is actually buying.
+    """
+    planned = dedup.get("planned", 0)
+    unique = dedup.get("unique", 0)
+    deduped = dedup.get("deduped", planned - unique)
+    cache_warm = dedup.get("cache_warm", 0)
+    rows = [
+        ("waves", dedup.get("waves", 0)),
+        ("jobs planned", planned),
+        ("unique after dedup", unique),
+        ("dedup rate", format_percent(deduped / planned) if planned else "n/a"),
+        ("cache-warm", cache_warm),
+        ("cache-warm rate",
+         format_percent(cache_warm / unique) if unique else "n/a"),
+        ("executed", dedup.get("executed", 0)),
+    ]
+    return format_table(["metric", "value"], rows, title=title)
+
+
 def per_suite_table(per_suite: Mapping[str, Mapping[str, float]],
                     value_format=format_speedup, title: str = "") -> str:
     """Render a {suite: {config: value}} mapping in the paper's figure layout."""

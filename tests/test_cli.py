@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -228,7 +229,10 @@ def test_cache_stats_reports_cross_run_hit_rates(tmp_path, capsys):
     assert counters["total"]["stores"] == len(SUITES) * 2
     assert counters["total"]["hits"] >= len(SUITES) * 2, \
         "the warm rerun's hits must be visible to a later process"
-    assert set(counters["by_cache"]) == {"ResultCache", "ReportCache"}
+    # Orchestrated sweeps also stream their wave's dedup stats in.
+    assert set(counters["by_cache"]) == {"ResultCache", "ReportCache",
+                                         "SweepOrchestrator"}
+    assert counters["dedup"]["waves"] == 2
 
     capsys.readouterr()
     assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
@@ -353,6 +357,57 @@ def test_persist_stats_flushes_deltas_exactly_once(tmp_path):
         "hits": 0, "misses": 0, "stores": 0, "evictions": 0}
 
 
+def test_dedup_ledger_aggregates_and_survives_compaction(tmp_path):
+    """Orchestrated waves stream dedup stats into the ledger; aggregation sums
+    them across waves (and hosts) and compaction folds them losslessly."""
+    from repro.experiments.cache import (
+        DEDUP_LEDGER_CLASS,
+        compact_persisted_stats,
+        persist_dedup_stats,
+        persisted_cache_stats,
+    )
+
+    assert persisted_cache_stats(tmp_path)["dedup"]["waves"] == 0
+    persist_dedup_stats(tmp_path, {"planned": 10, "unique": 7,
+                                   "cache_warm": 3, "executed": 4})
+    persist_dedup_stats(tmp_path, {"planned": 10, "unique": 7,
+                                   "cache_warm": 7, "executed": 0})
+    summary = persisted_cache_stats(tmp_path)
+    assert summary["dedup"] == {"waves": 2, "planned": 20, "unique": 14,
+                                "deduped": 6, "cache_warm": 10, "executed": 4}
+    assert DEDUP_LEDGER_CLASS in summary["by_cache"]
+    assert summary["by_cache"][DEDUP_LEDGER_CLASS]["stores"] == 0, \
+        "dedup-only ledgers carry zero cache counters for old readers"
+    assert compact_persisted_stats(tmp_path) == 2
+    after = persisted_cache_stats(tmp_path)
+    assert after["dedup"] == summary["dedup"], \
+        "compaction must not change the dedup sums (waves included)"
+    assert after["ledgers"] == 1
+    # Another wave after compaction keeps accumulating.
+    persist_dedup_stats(tmp_path, {"planned": 4, "unique": 4,
+                                   "cache_warm": 0, "executed": 4})
+    assert persisted_cache_stats(tmp_path)["dedup"]["waves"] == 3
+
+
+def test_orchestrated_sweep_streams_dedup_into_cache_stats(tmp_path, capsys):
+    """An orchestrated `repro sweep` leaves its wave's dedup rates readable
+    by a later `repro cache stats` process — the cross-host observability
+    contract the CI sharded smoke relies on."""
+    assert main(["sweep", "--families", "main", "--smt-configs", "none"]
+                + _runner_args(tmp_path)) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path), "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    dedup = stats["persisted_counters"]["dedup"]
+    assert dedup["waves"] == 1
+    assert dedup["planned"] >= dedup["unique"] > 0
+    assert dedup["executed"] > 0, "a cold sweep's wave executes its jobs"
+    # The human-readable rendering surfaces the same block.
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "orchestrated waves" in out and "dedup rate" in out
+
+
 # ---------------------------------------------------------- sensitivity sweeps
 
 def test_sweep_sensitivity_family_warms_fig13_and_fig20(tmp_path, simulation_counter):
@@ -378,7 +433,7 @@ def test_sweep_rejects_unknown_family(tmp_path):
 
 def test_bench_cli_writes_report(tmp_path, capsys):
     output = tmp_path / "bench.json"
-    assert main(["bench", "--quick", "--families", "sensitivity",
+    assert main(["bench", "--quick", "--families", "sensitivity", "--reps", "2",
                  "--instructions", "400", "--output", str(output)]) == 0
     out = capsys.readouterr().out
     assert "repro bench" in out and str(output) in out
@@ -387,10 +442,63 @@ def test_bench_cli_writes_report(tmp_path, capsys):
     assert payload["schema"] == BENCH_SCHEMA_VERSION
     assert payload["identical"] is True
     assert payload["engines"] == ["cycle", "event"]
+    assert payload["reps"] == 2 and payload["warmup_discarded"] is True
+    assert payload["host"]["cpu_count"] == os.cpu_count()
     family = payload["families"]["sensitivity"]
     assert family["speedup"] > 0
     assert all(job["identical"] for job in family["jobs"])
+    for engine in family["totals"].values():
+        assert len(engine["wall_samples"]) == 2
+        # Warm-up discarded: the summary is the median of the single
+        # remaining sample.
+        assert engine["wall_seconds"] == engine["wall_samples"][1]
     assert "orchestrator" not in payload, "only --orchestrator adds the section"
+
+
+def test_bench_reps_distribution_statistics():
+    from repro.analysis.stats_utils import median, median_abs_deviation
+    from repro.experiments.bench import run_bench
+
+    payload = run_bench(quick=True, families=["sensitivity"],
+                        instructions=300, reps=3)
+    job = payload["families"]["sensitivity"]["jobs"][0]
+    for engine in job["engines"].values():
+        samples = engine["wall_samples"]
+        assert len(samples) == 3
+        measured = samples[1:]  # warm-up discarded by default
+        assert engine["wall_seconds"] == pytest.approx(median(measured))
+        assert engine["wall_min"] == pytest.approx(min(measured))
+        assert engine["wall_mad"] == pytest.approx(
+            median_abs_deviation(measured))
+    totals = payload["families"]["sensitivity"]["totals"]
+    for engine_name, engine in totals.items():
+        per_rep = [sum(j["engines"][engine_name]["wall_samples"][rep]
+                       for j in payload["families"]["sensitivity"]["jobs"])
+                   for rep in range(3)]
+        assert engine["wall_samples"] == pytest.approx(per_rep), \
+            "family totals must be per-repetition sums, not sums of medians"
+
+
+def test_bench_reps_env_and_keep_warmup(monkeypatch):
+    from repro.experiments.bench import resolve_bench_reps, run_bench
+
+    monkeypatch.setenv("REPRO_BENCH_REPS", "2")
+    assert resolve_bench_reps() == 2
+    payload = run_bench(quick=True, families=["sensitivity"],
+                        instructions=200, discard_warmup=False)
+    assert payload["reps"] == 2
+    assert payload["warmup_discarded"] is False
+    engine = payload["families"]["sensitivity"]["jobs"][0]["engines"]["event"]
+    from repro.analysis.stats_utils import median
+    assert engine["wall_seconds"] == pytest.approx(median(engine["wall_samples"]))
+    monkeypatch.setenv("REPRO_BENCH_REPS", "zero")
+    with pytest.warns(RuntimeWarning, match="REPRO_BENCH_REPS"):
+        assert resolve_bench_reps() == 3
+    monkeypatch.setenv("REPRO_BENCH_REPS", "-1")
+    with pytest.warns(RuntimeWarning):
+        assert resolve_bench_reps() == 3
+    with pytest.raises(ValueError):
+        resolve_bench_reps(0)
 
 
 def test_bench_cli_rejects_unknown_family_and_engine(tmp_path, capsys):
@@ -434,37 +542,177 @@ def test_latest_bench_report_prefers_new_dir_and_warns_on_legacy(tmp_path):
     assert path == newer and payload["schema"] == 2
 
 
-def _gate_payload(quick: bool, wall: float) -> dict:
+def test_latest_bench_report_warns_when_newer_legacy_report_is_shadowed(tmp_path):
+    from repro.experiments.bench import latest_bench_report
+
+    new_dir = tmp_path / "bench_reports"
+    new_dir.mkdir()
+    committed = new_dir / "BENCH_20260101T000000Z.json"
+    committed.write_text('{"schema": 3}', encoding="utf-8")
+    stray = tmp_path / "BENCH_20270101T000000Z.json"
+    stray.write_text('{"schema": 3, "fresh": true}', encoding="utf-8")
+    with pytest.warns(UserWarning, match="shadowed"):
+        path, payload = latest_bench_report(new_dir, legacy_directory=tmp_path)
+    assert path == committed, "the new location still wins"
+    assert "fresh" not in payload
+    # An *older* legacy report shadows nothing: no warning.
+    stray.rename(tmp_path / "BENCH_20250101T000000Z.json")
+    import warnings as warnings_module
+    with warnings_module.catch_warnings():
+        warnings_module.simplefilter("error")
+        path, _ = latest_bench_report(new_dir, legacy_directory=tmp_path)
+    assert path == committed
+
+
+def test_bench_report_discovery_skips_loosely_named_files(tmp_path):
+    """A stray ``BENCH_notes.json`` (which the old glob matched and — sorting
+    after any timestamp — would have been picked as 'latest') is ignored."""
+    from repro.experiments.bench import latest_bench_report, load_bench_history
+
+    new_dir = tmp_path / "bench_reports"
+    new_dir.mkdir()
+    (new_dir / "BENCH_notes.json").write_text("not json at all {",
+                                              encoding="utf-8")
+    (new_dir / "BENCH_20260101T000000.json").write_text('{}', encoding="utf-8")
+    assert latest_bench_report(new_dir, legacy_directory=tmp_path) is None, \
+        "no strictly named report -> no report (never a scratch file)"
+    real = new_dir / "BENCH_20260101T000000Z.json"
+    real.write_text('{"schema": 3}', encoding="utf-8")
+    path, _ = latest_bench_report(new_dir, legacy_directory=tmp_path)
+    assert path == real
+    history = load_bench_history(new_dir, legacy_directory=tmp_path)
+    assert [entry["name"] for entry in history] == [real.name]
+
+
+def _history_report(schema: int, wall: float, **extra) -> str:
+    payload = {"schema": schema, "quick": True,
+               "families": {"speedup": {
+                   "totals": {"event": {"wall_seconds": wall}}}},
+               "speedup_geomean": 1.5}
+    payload.update(extra)
+    return json.dumps(payload)
+
+
+def test_bench_history_renders_trajectory_across_schemas(tmp_path):
+    from repro.experiments.bench import format_bench_history, load_bench_history
+
+    new_dir = tmp_path / "bench_reports"
+    new_dir.mkdir()
+    # A legacy-root schema-1 report, then two generations in bench_reports/.
+    (tmp_path / "BENCH_20250101T000000Z.json").write_text(
+        _history_report(1, 3.0), encoding="utf-8")
+    (new_dir / "BENCH_20260101T000000Z.json").write_text(
+        _history_report(2, 2.0, orchestrator={"speedup": 1.25}),
+        encoding="utf-8")
+    (new_dir / "BENCH_20260601T000000Z.json").write_text(
+        _history_report(3, 1.0, reps=3), encoding="utf-8")
+    # A malformed strictly-named report is skipped with a warning, not fatal.
+    (new_dir / "BENCH_20260701T000000Z.json").write_text("{broken",
+                                                        encoding="utf-8")
+    with pytest.warns(UserWarning, match="skipping unreadable"):
+        entries = load_bench_history(new_dir, legacy_directory=tmp_path)
+    assert [entry["schema"] for entry in entries] == [1, 2, 3]
+    assert entries[0]["name"] < entries[1]["name"] < entries[2]["name"]
+    assert [entry["family_walls"]["speedup"] for entry in entries] \
+        == [3.0, 2.0, 1.0]
+    assert entries[2]["reps"] == 3 and entries[0]["reps"] == 1
+    table = format_bench_history(entries)
+    assert "bench trajectory (3 reports)" in table
+    assert "speedup wall" in table and "3.00s" in table and "1.00s" in table
+    assert "1.25x" in table, "the schema-2 orchestrator speedup renders"
+
+
+def test_bench_history_cli(tmp_path, capsys):
+    new_dir = tmp_path / "bench_reports"
+    new_dir.mkdir()
+    empty = main(["bench", "history", "--dir", str(new_dir),
+                  "--legacy-dir", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert empty == 1 and "no bench reports" in captured.err
+    for stamp, wall in (("20260101T000000Z", 2.0), ("20260201T000000Z", 1.0)):
+        (new_dir / f"BENCH_{stamp}.json").write_text(
+            _history_report(3, wall), encoding="utf-8")
+    assert main(["bench", "history", "--dir", str(new_dir),
+                 "--legacy-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "bench trajectory (2 reports)" in out
+    assert main(["bench", "history", "--json", "--dir", str(new_dir),
+                 "--legacy-dir", str(tmp_path)]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    assert len(entries) == 2
+    assert entries[1]["family_walls"]["speedup"] == 1.0
+
+
+def _gate_payload(quick: bool, wall: float, mad: float = 0.0) -> dict:
     return {"quick": quick, "families": {
-        "speedup": {"totals": {"event": {"wall_seconds": wall}}}}}
+        "speedup": {"totals": {"event": {"wall_seconds": wall,
+                                         "wall_mad": mad}}}}}
 
 
 def test_perf_gate_flags_only_regressions_past_threshold():
     from repro.experiments.bench import perf_gate
 
     reference = _gate_payload(True, 10.0)
-    assert perf_gate(_gate_payload(True, 14.9), reference) == []
-    problems = perf_gate(_gate_payload(True, 15.1), reference)
+    ok = perf_gate(_gate_payload(True, 14.9), reference)
+    assert ok.ok and not ok.vacuous and ok.problems == []
+    assert ok.compared == ["speedup", "aggregate"]
+    assert "perf gate OK" in ok.describe()
+    result = perf_gate(_gate_payload(True, 15.1), reference)
     # Both the family and the aggregate (same numbers here) trip.
-    assert len(problems) == 2 and "speedup/event" in problems[0]
-    assert "aggregate/event" in problems[1]
-    # Cross-budget comparisons are vacuous, unknown families skipped.
-    assert perf_gate(_gate_payload(False, 99.0), reference) == []
-    assert perf_gate({"quick": True, "families": {"other": {}}}, reference) == []
+    assert not result.ok and not result.vacuous
+    assert len(result.problems) == 2 and "speedup/event" in result.problems[0]
+    assert "aggregate/event" in result.problems[1]
+    assert result.describe().count("PERF REGRESSION") == 2
     with pytest.raises(ValueError):
         perf_gate(_gate_payload(True, 1.0), reference, threshold=1.0)
+    with pytest.raises(ValueError):
+        perf_gate(_gate_payload(True, 1.0), reference, mad_multiplier=-1.0)
+
+
+def test_perf_gate_noise_margin_absorbs_spread_within_reference_mad():
+    """A rerun within the reference's own measured spread never flags, even
+    past the relative threshold; a genuine 2x median slowdown still does."""
+    from repro.experiments.bench import perf_gate
+
+    # Reference: 1.0s median with a wide 0.3s MAD (a noisy shared box).
+    reference = _gate_payload(True, 1.0, mad=0.3)
+    # 1.8s is >1.5x but inside the +3*MAD (= +0.9s) margin: not a regression.
+    within_noise = perf_gate(_gate_payload(True, 1.8), reference)
+    assert within_noise.ok and within_noise.problems == []
+    # 2.0s clears both bars: flagged.
+    slowdown = perf_gate(_gate_payload(True, 2.0), reference)
+    assert slowdown.problems and "speedup/event" in slowdown.problems[0]
+    # A tight reference (MAD 0) degenerates to the old threshold-only check.
+    tight = _gate_payload(True, 1.0)
+    assert perf_gate(_gate_payload(True, 1.8), tight).problems
+
+
+def test_perf_gate_vacuous_comparisons_carry_an_explicit_reason():
+    from repro.experiments.bench import perf_gate
+
+    reference = _gate_payload(True, 10.0)
+    # Cross-budget: vacuous, never ok, reason names the mismatch.
+    budget = perf_gate(_gate_payload(False, 99.0), reference)
+    assert budget.vacuous and not budget.ok and budget.problems == []
+    assert "budget mismatch" in budget.vacuous_reason
+    assert "VACUOUS" in budget.describe()
+    # Disjoint family sets: vacuous with the no-shared-family reason.
+    disjoint = perf_gate({"quick": True, "families": {"other": {}}}, reference)
+    assert disjoint.vacuous and "no comparable family" in disjoint.vacuous_reason
 
 
 def test_perf_gate_ignores_sub_floor_walls_but_gates_the_aggregate():
     from repro.experiments.bench import perf_gate
 
     # Individually tiny families are timer noise: no per-family verdicts even
-    # at a 10x blowup, and the 0.2s aggregate stays under the 0.5s floor.
+    # at a 10x blowup, and the 0.2s aggregate stays under the 0.5s floor —
+    # but that is a VACUOUS verdict (nothing compared), not a green one.
     reference = {"quick": True, "families": {
         f: {"totals": {"event": {"wall_seconds": 0.1}}} for f in ("a", "b")}}
     noisy = {"quick": True, "families": {
         f: {"totals": {"event": {"wall_seconds": 1.0}}} for f in ("a", "b")}}
-    assert perf_gate(noisy, reference) == []
+    sub_floor = perf_gate(noisy, reference)
+    assert sub_floor.vacuous and "noise floor" in sub_floor.vacuous_reason
     # Enough tiny families to clear the aggregate floor: a broad slowdown
     # spread thinly across them is still caught (aggregate only).
     reference["families"].update(
@@ -473,35 +721,84 @@ def test_perf_gate_ignores_sub_floor_walls_but_gates_the_aggregate():
     noisy["families"].update(
         {f: {"totals": {"event": {"wall_seconds": 1.0}}}
          for f in ("c", "d", "e")})
-    problems = perf_gate(noisy, reference)
-    assert len(problems) == 1 and "aggregate/event" in problems[0]
+    result = perf_gate(noisy, reference)
+    assert result.compared == ["aggregate"]
+    assert len(result.problems) == 1 and "aggregate/event" in result.problems[0]
+
+
+def test_perf_gate_accepts_committed_schema1_and_schema2_reports():
+    """The committed legacy reports stay usable as gate references: their
+    single-shot ``wall_seconds`` reads as a median with zero spread."""
+    from repro.experiments.bench import perf_gate
+
+    reports_dir = Path(__file__).resolve().parent.parent / "bench_reports"
+    for name in ("BENCH_20260728T122855Z.json", "BENCH_20260728T130454Z.json"):
+        reference = json.loads(
+            (reports_dir / name).read_text(encoding="utf-8"))
+        assert reference["schema"] in (1, 2)
+        same = perf_gate(reference, reference)
+        assert same.ok, same.describe()
+        slowed = json.loads(json.dumps(reference))
+        for family in slowed["families"].values():
+            for engine in family["totals"].values():
+                engine["wall_seconds"] *= 2.5
+        assert perf_gate(slowed, reference).problems
 
 
 def test_orchestrator_bench_measures_and_verifies(tmp_path):
     from repro.experiments.bench import run_orchestrator_bench
 
     section = run_orchestrator_bench(quick=True, workers=2, per_suite=1,
-                                     instructions=500,
+                                     instructions=500, reps=2,
                                      figures=("fig11", "fig13"))
     assert section["identical"] is True
     assert section["dedup"]["deduped"] > 0
     assert section["serial_wall_seconds"] > 0
     assert section["orchestrated_wall_seconds"] > 0
+    assert len(section["serial_wall_samples"]) == 2
+    assert len(section["orchestrated_wall_samples"]) == 2
+    assert section["serial_wall_mad"] >= 0.0
+    assert section["orchestrated_wall_mad"] >= 0.0
+    # Medians come from the post-warm-up samples.
+    assert section["serial_wall_seconds"] == section["serial_wall_samples"][1]
     assert section["speedup"] == pytest.approx(
         section["serial_wall_seconds"] / section["orchestrated_wall_seconds"])
     with pytest.raises(ValueError):
         run_orchestrator_bench(figures=("not_a_figure",))
+    with pytest.raises(ValueError):
+        run_orchestrator_bench(reps=-2)
 
 
 # --------------------------------------------------------------------- figures
 
-def test_figures_cli_warm_run_performs_zero_simulations(tmp_path, simulation_counter):
+def test_figures_cli_warm_run_performs_zero_simulations(tmp_path, capsys,
+                                                        simulation_counter):
     fig_args = ["figures", "fig11"] + _runner_args(tmp_path) + ["--expect-warm"]
     assert main(fig_args) == 2, "a cold run must violate --expect-warm"
+    err = capsys.readouterr().err
+    assert "--expect-warm violated" in err
+    assert "cold orchestrator jobs executed" in err
+    assert "cold job: " in err, "the violation must name the jobs that ran cold"
     cold_sims = simulation_counter["count"]
     assert cold_sims > 0
     assert main(fig_args) == 0, "a warm rerun must satisfy --expect-warm"
     assert simulation_counter["count"] == cold_sims
+    assert "cold job" not in capsys.readouterr().err
+
+
+def test_expect_warm_catches_cold_orchestrator_jobs_without_sim_counters():
+    """Regression: the orchestrator's own ``executed`` count must trip the
+    check even when cache-store counters alone would look warm."""
+    from repro.cli import _expect_warm_violated
+    from repro.experiments.orchestrator import DedupStats
+
+    warm = DedupStats(planned=4, unique=3, cache_warm=3, executed=0)
+    assert _expect_warm_violated(0, 0, warm) is False
+    cold = DedupStats(planned=4, unique=3, cache_warm=1, executed=2,
+                      cold_jobs=["constable/client_00", "smt:baseline/a+b"])
+    assert _expect_warm_violated(0, 0, cold) is True
+    assert _expect_warm_violated(0, 0, None) is False, \
+        "no wave (serial path) leaves the harness counters in charge"
 
 
 def test_figures_cli_prints_dedup_stats_only_when_orchestrating(tmp_path, capsys):

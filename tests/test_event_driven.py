@@ -211,15 +211,22 @@ def test_event_engine_smt_sweep_matches_cycle_reference(reference_sweeps,
 # ------------------------------------------------------------ bench harness
 
 def test_bench_harness_reports_identical_engines():
-    payload = run_bench(quick=True, families=["speedup"], instructions=500)
+    payload = run_bench(quick=True, families=["speedup"], instructions=500,
+                        reps=1)
     assert payload["identical"] is True
+    assert payload["reps"] == 1
+    assert payload["warmup_discarded"] is False, \
+        "a single repetition has nothing to discard"
     family = payload["families"]["speedup"]
     assert family["speedup"] > 0
     assert 0.0 < family["skipped_cycle_fraction"] < 1.0
     for job in family["jobs"]:
         assert job["identical"] is True
         assert set(job["engines"]) == {"cycle", "event"}
-        assert job["engines"]["event"]["wall_seconds"] > 0
+        engine = job["engines"]["event"]
+        assert engine["wall_seconds"] > 0
+        assert engine["wall_samples"] == [engine["wall_seconds"]]
+        assert engine["wall_mad"] == 0.0, "one sample has zero spread"
 
 
 def test_bench_rejects_unknown_inputs():
@@ -229,3 +236,5 @@ def test_bench_rejects_unknown_inputs():
         run_bench(engines=["warp"])
     with pytest.raises(ValueError):
         run_bench(engines=[])
+    with pytest.raises(ValueError):
+        run_bench(families=["speedup"], instructions=200, reps=0)

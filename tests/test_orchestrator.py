@@ -208,6 +208,9 @@ def test_warm_cache_wave_executes_nothing(tmp_path, simulation_counter,
     assert simulation_counter["count"] == executed_cold, "warm wave simulated"
     assert warm_stats.executed == 0
     assert warm_stats.cache_warm == warm_stats.unique == cold_stats.unique
+    assert len(cold_stats.cold_jobs) == cold_stats.executed, \
+        "every executed job must be named for --expect-warm diagnostics"
+    assert warm_stats.cold_jobs == [], "a warm wave has no cold jobs to name"
     for name in FIGURES:
         assert warm_results[name] == serial_reference[name], name
 

@@ -128,3 +128,39 @@ def test_format_dedup_stats_computes_deduped_when_absent():
 
 def test_format_dedup_stats_custom_title():
     assert format_dedup_stats(_stats(), title="wave").splitlines()[0] == "wave"
+
+
+# ------------------------------------------------------ persisted dedup block
+
+def test_format_persisted_dedup_renders_rates():
+    from repro.experiments.reporting import format_persisted_dedup
+
+    text = format_persisted_dedup({"waves": 3, "planned": 20, "unique": 14,
+                                   "deduped": 6, "cache_warm": 7,
+                                   "executed": 7})
+    lines = text.splitlines()
+    assert lines[0] == "orchestrated waves (all processes)"
+    rendered = {line.split("|")[0].strip(): line.split("|")[1].strip()
+                for line in lines[3:]}
+    assert rendered == {
+        "waves": "3",
+        "jobs planned": "20",
+        "unique after dedup": "14",
+        "dedup rate": "30.0%",
+        "cache-warm": "7",
+        "cache-warm rate": "50.0%",
+        "executed": "7",
+    }
+
+
+def test_format_persisted_dedup_handles_zero_denominators():
+    from repro.experiments.reporting import format_persisted_dedup
+
+    text = format_persisted_dedup({"waves": 0, "planned": 0, "unique": 0,
+                                   "cache_warm": 0, "executed": 0})
+    assert text.count("n/a") == 2, "both rates degrade to n/a, never divide"
+    # `deduped` is derived when the ledger block predates the computed key.
+    derived = format_persisted_dedup({"waves": 1, "planned": 5, "unique": 4,
+                                      "cache_warm": 2, "executed": 2})
+    assert any("dedup rate" in line and "20.0%" in line
+               for line in derived.splitlines())
