@@ -4,6 +4,12 @@ The baseline (Table 2) issues six micro-ops per cycle to twelve ports: five
 ALU, three load (AGU + load port pairs), two store-address and two store-data.
 Constable's headline effect is freeing the *load* ports, so per-cycle load-port
 occupancy is also tracked for the Fig. 6 analysis.
+
+The per-kind availability lives in plain integer slots rather than a dict
+keyed by :class:`PortKind` — :meth:`new_cycle` runs every simulated cycle and
+:meth:`issue` runs on every issued micro-op, so the enum-hashing dictionary
+rebuild used to dominate the per-cycle sweep.  The dict-shaped
+:attr:`issue_counts` view is kept for reporting.
 """
 
 from __future__ import annotations
@@ -46,38 +52,89 @@ class ExecutionPorts:
 
     def __init__(self, config: PortConfig = PortConfig()):
         self.config = config
-        self._available: Dict[PortKind, int] = {}
         self._issued_this_cycle = 0
         self.cycles = 0
         self.load_port_busy_cycles = 0       # cycles with >= 1 load port in use
         self.load_port_uses = 0              # total load issues
-        self.issue_counts: Dict[PortKind, int] = {kind: 0 for kind in PortKind}
+        # Per-kind issue totals as plain ints (the dict view is rebuilt on
+        # demand): ``issue`` runs per micro-op, where enum hashing shows up.
+        self._count_alu = 0
+        self._count_load = 0
+        self._count_sa = 0
+        self._count_sd = 0
+        #: Earliest scheduled completion among micro-ops issued through the
+        #: ports that is still in flight (None when nothing is outstanding or
+        #: the stored timer has already expired).  Fed by
+        #: :meth:`note_inflight`; read by :meth:`next_release_cycle`.
+        self._earliest_inflight: Optional[int] = None
+        self._avail_alu = config.alu
+        self._avail_load = config.load
+        self._avail_sa = config.store_address
+        self._avail_sd = config.store_data
         self.new_cycle()
+
+    @property
+    def issue_counts(self) -> Dict[PortKind, int]:
+        """Total issues per port kind (reporting view)."""
+        return {PortKind.ALU: self._count_alu,
+                PortKind.LOAD: self._count_load,
+                PortKind.STORE_ADDRESS: self._count_sa,
+                PortKind.STORE_DATA: self._count_sd}
 
     def new_cycle(self) -> None:
         """Start a new cycle: refresh port availability and issue bandwidth."""
-        if self._available and self._available[PortKind.LOAD] < self.config.load:
+        config = self.config
+        if self._avail_load < config.load:
             # At least one load port was claimed during the cycle that just ended.
             self.load_port_busy_cycles += 1
-        self._available = {kind: self.config.count(kind) for kind in PortKind}
+        self._avail_alu = config.alu
+        self._avail_load = config.load
+        self._avail_sa = config.store_address
+        self._avail_sd = config.store_data
         self._issued_this_cycle = 0
         self.cycles += 1
+
+    def _available_for(self, kind: PortKind) -> int:
+        if kind is PortKind.ALU:
+            return self._avail_alu
+        if kind is PortKind.LOAD:
+            return self._avail_load
+        if kind is PortKind.STORE_ADDRESS:
+            return self._avail_sa
+        return self._avail_sd
 
     def can_issue(self, kind: PortKind) -> bool:
         """True if a micro-op of this kind can issue this cycle."""
         if self._issued_this_cycle >= self.config.issue_width:
             return False
-        return self._available[kind] > 0
+        return self._available_for(kind) > 0
 
     def issue(self, kind: PortKind) -> bool:
         """Claim a port of ``kind`` for this cycle; returns False if none is free."""
-        if not self.can_issue(kind):
+        if self._issued_this_cycle >= self.config.issue_width:
             return False
-        self._available[kind] -= 1
-        self._issued_this_cycle += 1
-        self.issue_counts[kind] += 1
-        if kind is PortKind.LOAD:
+        if kind is PortKind.ALU:
+            if self._avail_alu <= 0:
+                return False
+            self._avail_alu -= 1
+            self._count_alu += 1
+        elif kind is PortKind.LOAD:
+            if self._avail_load <= 0:
+                return False
+            self._avail_load -= 1
             self.load_port_uses += 1
+            self._count_load += 1
+        elif kind is PortKind.STORE_ADDRESS:
+            if self._avail_sa <= 0:
+                return False
+            self._avail_sa -= 1
+            self._count_sa += 1
+        else:
+            if self._avail_sd <= 0:
+                return False
+            self._avail_sd -= 1
+            self._count_sd += 1
+        self._issued_this_cycle += 1
         return True
 
     def skip_idle_cycles(self, cycles: int) -> None:
@@ -95,18 +152,39 @@ class ExecutionPorts:
             raise ValueError("cycles must be non-negative")
         self.cycles += cycles
 
-    def next_release_cycle(self) -> Optional[int]:
-        """Earliest future cycle at which a busy port frees up, if any.
+    def note_inflight(self, completion_cycle: int) -> None:
+        """Record that a micro-op issued through the ports completes at
+        ``completion_cycle``.
 
-        Ports arbitrate per cycle (every :meth:`new_cycle` restores full
-        availability), so there is never a cross-cycle reservation to wait
-        for: the answer is always ``None``.  The query exists so the
-        event-driven scheduler can treat the port model like every other
-        timed resource; a future model with multi-cycle port reservations
-        only has to implement it.
+        The core calls this at issue time with the same completion cycle it
+        pushes onto its completion heap, which makes the port model a genuine
+        owner of its forward timer: :meth:`next_release_cycle` can answer the
+        event-driven scheduler from local state instead of ``None``.
         """
-        return None
+        earliest = self._earliest_inflight
+        if earliest is None or completion_cycle < earliest:
+            self._earliest_inflight = completion_cycle
+
+    def next_release_cycle(self, now: int) -> Optional[int]:
+        """Earliest known future cycle at which an in-flight micro-op that
+        went through the ports completes, or None.
+
+        Port *bandwidth* renews every cycle (:meth:`new_cycle` restores full
+        availability), so the timer tracks the resource's in-flight work
+        rather than a cross-cycle reservation: the earliest completion
+        recorded by :meth:`note_inflight` that is still in the future.  A
+        timer at or before ``now`` has expired and is dropped (the next
+        earliest completion is unknown locally — the core's completion heap
+        still bounds the skip, so forgetting is safe).
+        """
+        earliest = self._earliest_inflight
+        if earliest is None:
+            return None
+        if earliest <= now:
+            self._earliest_inflight = None
+            return None
+        return earliest
 
     def loads_issued_this_cycle(self) -> int:
         """Number of load ports already claimed in the current cycle."""
-        return self.config.load - self._available[PortKind.LOAD]
+        return self.config.load - self._avail_load

@@ -16,7 +16,7 @@ class StoreRecord:
     """One in-flight store."""
 
     __slots__ = ("seq", "pc", "address", "line_address", "value",
-                 "address_ready", "data_ready")
+                 "address_ready", "data_ready", "resolve_cycle")
 
     def __init__(self, seq: int, pc: int):
         self.seq = seq
@@ -26,6 +26,11 @@ class StoreRecord:
         self.value: Optional[int] = None
         self.address_ready = False
         self.data_ready = False
+        #: Cycle at which the store's address generation completes (set by the
+        #: core at issue time, None while the store sits unissued).  This is
+        #: the record's own forward timer: before it fires the address is
+        #: unknown, at it the record flips to ``address_ready``.
+        self.resolve_cycle: Optional[int] = None
 
     def overlaps(self, address: int) -> bool:
         """Word-granularity overlap check against a load address."""
@@ -50,8 +55,17 @@ class StoreQueue:
         return record
 
     def remove(self, seq: int) -> None:
-        """Remove the store with sequence number ``seq`` (at retirement)."""
-        self._stores = [s for s in self._stores if s.seq != seq]
+        """Remove the store with sequence number ``seq`` (at retirement).
+
+        Stores retire in program order and the queue is age-ordered, so the
+        common case is popping the head; the filter fallback keeps the method
+        correct for arbitrary callers.
+        """
+        stores = self._stores
+        if stores and stores[0].seq == seq:
+            del stores[0]
+            return
+        self._stores = [s for s in stores if s.seq != seq]
 
     def squash_younger_than(self, seq: int) -> None:
         """Drop all stores younger than ``seq`` (pipeline flush)."""
@@ -66,13 +80,19 @@ class StoreQueue:
     # ---------------------------------------------------------------- queries
 
     def forwarding_candidate(self, load_seq: int, address: int) -> Optional[StoreRecord]:
-        """Youngest older store with a resolved, overlapping address."""
-        best: Optional[StoreRecord] = None
-        for store in self._stores:
-            if store.seq < load_seq and store.overlaps(address):
-                if best is None or store.seq > best.seq:
-                    best = store
-        return best
+        """Youngest older store with a resolved, overlapping address.
+
+        The queue is age-ordered, so scanning youngest-first returns the
+        first (and therefore youngest) match; the overlap check is inlined
+        from :meth:`StoreRecord.overlaps` (word granularity).
+        """
+        word = address & ~0x7
+        for store in reversed(self._stores):
+            if (store.seq < load_seq and store.address_ready
+                    and store.address is not None
+                    and (store.address & ~0x7) == word):
+                return store
+        return None
 
     def has_unresolved_older_store(self, load_seq: int) -> bool:
         """True if any older store has not generated its address yet."""
@@ -85,15 +105,24 @@ class StoreQueue:
         """All older stores whose address is still unknown."""
         return [s for s in self._stores if s.seq < load_seq and not s.address_ready]
 
-    def next_release_cycle(self) -> Optional[int]:
-        """Earliest future cycle at which a queue entry's state changes, if any.
+    def next_release_cycle(self, now: int) -> Optional[int]:
+        """Earliest future cycle at which a queue entry resolves, or None.
 
-        Store records resolve (address/data ready) when the store's execution
-        completes, and drain at retirement — both are events the core's
-        completion heap and retire stage already schedule, so the queue itself
-        never holds a timer of its own and the answer is always ``None``.
-        The query gives the event-driven scheduler a uniform surface over all
-        timed resources; a model adding, say, a store-buffer drain rate would
-        implement it for real.
+        Each record carries its own forward timer (``resolve_cycle``, set by
+        the core when the store's address generation issues); the queue's
+        next-release answer is the earliest timer still in the future for a
+        record whose address has not resolved yet.  Stores that have not
+        issued (``resolve_cycle`` is None) have no locally knowable timer —
+        their issue waits on events the core's completion heap already bounds.
+        Drain at retirement is likewise heap-scheduled (retire follows the
+        ROB head's completion), so resolution slots are the only timers the
+        queue owns.
         """
-        return None
+        earliest: Optional[int] = None
+        for store in self._stores:
+            resolve = store.resolve_cycle
+            if (not store.address_ready and resolve is not None
+                    and resolve > now
+                    and (earliest is None or resolve < earliest)):
+                earliest = resolve
+        return earliest

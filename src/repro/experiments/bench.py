@@ -758,7 +758,8 @@ class PerfGateResult:
 def perf_gate(current: Dict[str, object], reference: Dict[str, object],
               threshold: float = 1.5,
               min_wall_seconds: float = 0.5,
-              mad_multiplier: float = 3.0) -> PerfGateResult:
+              mad_multiplier: float = 3.0,
+              min_noise_fraction: float = 0.05) -> PerfGateResult:
     """Compare a fresh bench payload against a committed reference report.
 
     Returns a :class:`PerfGateResult` with one problem per comparison whose
@@ -766,10 +767,18 @@ def perf_gate(current: Dict[str, object], reference: Dict[str, object],
     perf-smoke job evaluates.  A regression must clear *two* bars at once:
 
     * ``threshold`` × the reference median (the relative bar), **and**
-    * the reference median + ``mad_multiplier`` × the reference's recorded
-      median absolute deviation (the noise margin — schema-3 reports record
-      their spread; schema-1/2 references have no spread, so their margin is
-      zero and only the relative bar applies).
+    * the reference median + the noise margin, where the margin is the larger
+      of ``mad_multiplier`` × the reference's recorded median absolute
+      deviation and ``min_noise_fraction`` × the reference median.
+
+    The ``min_noise_fraction`` floor exists because the MAD-based margin
+    silently degenerates to **+0** against schema-1/2 references (which never
+    recorded a spread) and against schema-3 reports taken with ``--reps 1``
+    or two reps (a one-sample distribution has MAD exactly 0).  With a zero
+    margin the second bar collapses into the first (``now > then`` is implied
+    by ``now > then * threshold``), so those references got *less* noise
+    protection than noisy ones — the opposite of the intent.  The floor keeps
+    a minimum relative margin in play no matter how the reference was taken.
 
     Two further guards keep the gate honest across machines of different
     speeds: a family is only compared when its *reference* wall reaches
@@ -784,6 +793,8 @@ def perf_gate(current: Dict[str, object], reference: Dict[str, object],
         raise ValueError("threshold must exceed 1.0")
     if mad_multiplier < 0.0:
         raise ValueError("mad_multiplier must be non-negative")
+    if min_noise_fraction < 0.0:
+        raise ValueError("min_noise_fraction must be non-negative")
     current_quick = bool(current.get("quick"))
     reference_quick = bool(reference.get("quick"))
     if current_quick != reference_quick:
@@ -815,19 +826,22 @@ def perf_gate(current: Dict[str, object], reference: Dict[str, object],
         if then < min_wall_seconds:
             continue
         result.compared.append(family)
-        if now > then * threshold and now > then + mad_multiplier * mad:
+        margin = max(mad_multiplier * mad, min_noise_fraction * then)
+        if now > then * threshold and now > then + margin:
             result.problems.append(
                 f"{family}/event: median {now:.2f}s vs committed {then:.2f}s "
                 f"(> {threshold:.2f}x and beyond the "
-                f"+{mad_multiplier:.0f}*MAD noise margin)")
+                f"+{margin:.3f}s noise margin)")
     if total_then >= min_wall_seconds:
         result.compared.append("aggregate")
+        margin = max(mad_multiplier * total_mad,
+                     min_noise_fraction * total_then)
         if (total_now > total_then * threshold
-                and total_now > total_then + mad_multiplier * total_mad):
+                and total_now > total_then + margin):
             result.problems.append(
                 f"aggregate/event: median {total_now:.2f}s vs committed "
                 f"{total_then:.2f}s (> {threshold:.2f}x and beyond the "
-                f"+{mad_multiplier:.0f}*MAD noise margin)")
+                f"+{margin:.3f}s noise margin)")
     if not result.compared:
         if shared == 0:
             result.vacuous_reason = (
@@ -839,6 +853,65 @@ def perf_gate(current: Dict[str, object], reference: Dict[str, object],
                 f"{min_wall_seconds:.2f}s noise floor (aggregate reference "
                 f"wall {total_then:.2f}s) — the reference budgets are too "
                 f"small for this gate to mean anything")
+    return result
+
+
+def speedup_floor_gate(payload: Dict[str, object],
+                       geomean_floor: float = 1.3,
+                       family_floor: float = 0.95) -> PerfGateResult:
+    """Assert the event engine actually pays for itself in ``payload``.
+
+    The perf-smoke job runs this against the *fresh* bench payload (no
+    committed reference needed): the cross-family geomean of the
+    event-vs-cycle speedup must reach ``geomean_floor`` and no single family
+    may fall below ``family_floor`` (i.e. the event engine must never be
+    meaningfully *slower* than the reference stepper it exists to beat).
+
+    The floors are deliberately below the medians measured on an idle
+    machine (geomean ~1.7, weakest family ~1.15): CI boxes are noisy and
+    share cores, and this gate is meant to catch the event engine's win
+    structurally collapsing — a gating bug re-sweeping every cycle, a new
+    per-cycle cost in the skip path — not a 10% scheduler hiccup.
+
+    A payload that never ran both engines (``--engines event``) or recorded
+    no family speedups is **vacuous**, not green, exactly like
+    :func:`perf_gate`.
+    """
+    if geomean_floor <= 0.0 or family_floor <= 0.0:
+        raise ValueError("floors must be positive")
+    result = PerfGateResult()
+    engines = payload.get("engines") or []
+    if "cycle" not in engines or "event" not in engines:
+        result.vacuous_reason = (
+            f"payload ran engines {list(engines)!r}; both 'cycle' and "
+            f"'event' are needed to measure a speedup")
+        return result
+    families = payload.get("families")
+    if not isinstance(families, dict) or not families:
+        result.vacuous_reason = "payload recorded no family reports"
+        return result
+    for family, report in families.items():
+        speedup = report.get("speedup")
+        if not isinstance(speedup, (int, float)):
+            continue
+        result.compared.append(family)
+        if speedup < family_floor:
+            result.problems.append(
+                f"{family}: event engine speedup {speedup:.2f}x is below the "
+                f"{family_floor:.2f}x family floor — the event engine is "
+                f"slower than the cycle stepper here")
+    if not result.compared:
+        result.vacuous_reason = (
+            "no family recorded an event-vs-cycle speedup (were both "
+            "engines actually run?)")
+        return result
+    geomean = payload.get("speedup_geomean")
+    if isinstance(geomean, (int, float)):
+        result.compared.append("geomean")
+        if geomean < geomean_floor:
+            result.problems.append(
+                f"geomean: event engine speedup {geomean:.2f}x is below the "
+                f"{geomean_floor:.2f}x floor")
     return result
 
 

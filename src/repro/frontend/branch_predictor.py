@@ -78,24 +78,34 @@ class TagePredictor:
             self.history_lengths.append(int(round(length)))
             length *= ratio
         self._global_history = 0
+        # Index hash width, fixed by the table geometry.
+        self._index_bits = cfg.tagged_entries.bit_length() - 1
+        # Folded-history values keyed by (length, bits).  The fold depends
+        # only on the global history, which changes exclusively in `update`,
+        # so one resolution's worth of predict/update/allocate index and tag
+        # computations all share the same few folds.
+        self._fold_cache: dict = {}
         self.predictions = 0
         self.mispredictions = 0
 
     # ------------------------------------------------------------------ hashing
 
     def _folded_history(self, length: int, bits: int) -> int:
+        key = (length, bits)
+        cached = self._fold_cache.get(key)
+        if cached is not None:
+            return cached
         history = self._global_history & ((1 << length) - 1)
         folded = 0
         while history:
             folded ^= history & ((1 << bits) - 1)
             history >>= bits
+        self._fold_cache[key] = folded
         return folded
 
     def _index(self, pc: int, table: int) -> int:
-        cfg = self.config
-        bits = cfg.tagged_entries.bit_length() - 1
-        fold = self._folded_history(self.history_lengths[table], bits)
-        return ((pc >> 2) ^ fold ^ (table * 0x9E5)) % cfg.tagged_entries
+        fold = self._folded_history(self.history_lengths[table], self._index_bits)
+        return ((pc >> 2) ^ fold ^ (table * 0x9E5)) % self.config.tagged_entries
 
     def _tag(self, pc: int, table: int) -> int:
         cfg = self.config
@@ -121,8 +131,28 @@ class TagePredictor:
 
     def update(self, pc: int, taken: bool) -> None:
         """Train the predictor with the resolved outcome."""
-        cfg = self.config
         provider_table, provider = self._find_provider(pc)
+        self._train(pc, taken, provider_table, provider)
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Fused predict + update sharing one provider search.
+
+        ``predict`` mutates nothing besides its counter, so running it and
+        ``update`` back to back performs the identical provider search twice;
+        this entry point does the search once and feeds both.  Returns the
+        prediction, with counters updated exactly as the two-call sequence
+        would have.
+        """
+        self.predictions += 1
+        provider_table, provider = self._find_provider(pc)
+        predicted = (provider.counter >= 0) if provider is not None else self.base.predict(pc)
+        self._train(pc, taken, provider_table, provider)
+        return predicted
+
+    def _train(self, pc: int, taken: bool,
+               provider_table: Optional[int],
+               provider: Optional[_TaggedEntry]) -> None:
+        cfg = self.config
         predicted = (provider.counter >= 0) if provider is not None else self.base.predict(pc)
         if predicted != taken:
             self.mispredictions += 1
@@ -151,6 +181,7 @@ class TagePredictor:
                     break
 
         self._global_history = ((self._global_history << 1) | int(taken)) & ((1 << 128) - 1)
+        self._fold_cache.clear()
 
     def misprediction_rate(self) -> float:
         if self.predictions == 0:
@@ -178,6 +209,21 @@ class BranchPredictor:
             return False
         self.conditional_predictions += 1
         self.direction.update(pc, taken)
+        mispredicted = predicted != taken
+        if mispredicted:
+            self.conditional_mispredictions += 1
+        return mispredicted
+
+    def resolve_at_writeback(self, pc: int, is_conditional: bool, taken: bool) -> bool:
+        """``predict_taken`` + ``resolve`` fused for the branch writeback path.
+
+        Counter updates and training are bit-identical to the two-call
+        sequence; only the duplicated TAGE provider search is saved.
+        """
+        if not is_conditional:
+            return False
+        self.conditional_predictions += 1
+        predicted = self.direction.predict_and_update(pc, taken)
         mispredicted = predicted != taken
         if mispredicted:
             self.conditional_mispredictions += 1

@@ -37,6 +37,9 @@ class DramModel:
         self._open_rows: Dict[int, int] = {}
         self.row_hits = 0
         self.row_misses = 0
+        #: Earliest still-outstanding transaction completion (core cycle) as
+        #: reported by the hierarchy via :meth:`note_inflight`, or None.
+        self._earliest_inflight: Optional[int] = None
 
     def _bank_and_row(self, address: int) -> (int, int):
         cfg = self.config
@@ -60,14 +63,34 @@ class DramModel:
     def accesses(self) -> int:
         return self.row_hits + self.row_misses
 
-    def next_ready_cycle(self) -> Optional[int]:
-        """Earliest future cycle at which DRAM state changes on its own, if any.
+    def note_inflight(self, completion_cycle: int) -> None:
+        """Record a DRAM-serviced load whose data returns at ``completion_cycle``.
 
-        This model is latency-only: bank/row state mutates exclusively when an
-        access is performed, and the returned latency folds every queueing
-        effect into the access itself — nothing becomes ready at a wall-clock
-        time between accesses, so the answer is always ``None``.  The query is
-        part of the next-ready surface the event-driven core schedules over; a
-        refresh- or bank-busy-modelling DRAM would return its next timer here.
+        The hierarchy forwards the core-scheduled completion cycle of every
+        demand load that missed all the way to main memory, so the model owns
+        a genuine transaction timer even though bank/row state itself only
+        mutates at access time.
         """
-        return None
+        earliest = self._earliest_inflight
+        if earliest is None or completion_cycle < earliest:
+            self._earliest_inflight = completion_cycle
+
+    def next_ready_cycle(self, now: int) -> Optional[int]:
+        """Earliest known future cycle at which an outstanding DRAM transaction
+        completes, or None.
+
+        Bank/row state mutates exclusively when an access is performed and the
+        returned latency folds every queueing effect into the access itself,
+        so the forward timer is the earliest :meth:`note_inflight` completion
+        still ahead of ``now``.  Expired timers are dropped — the core's
+        completion heap bounds the skip target regardless, so forgetting can
+        only delay a skip, never overshoot one.  A refresh- or
+        bank-busy-modelling DRAM would fold its own timers in here.
+        """
+        earliest = self._earliest_inflight
+        if earliest is None:
+            return None
+        if earliest <= now:
+            self._earliest_inflight = None
+            return None
+        return earliest

@@ -55,6 +55,13 @@ class MemoryHierarchy:
         #: Callbacks invoked with the line address of every L1-D demand fill.
         self.l1_fill_listeners: List[Callable[[int], None]] = []
         self.level_counts: Dict[str, int] = {"L1D": 0, "L2": 0, "LLC": 0, "DRAM": 0}
+        #: Earliest still-in-flight demand-load completion (load-to-use data
+        #: return as scheduled by the core), or None.  Fed by
+        #: :meth:`note_inflight`, consumed by :meth:`next_ready_cycle`.
+        self._earliest_inflight: Optional[int] = None
+        #: Servicing level of the most recent demand load (used to attribute
+        #: the in-flight timer to DRAM when main memory owned the miss).
+        self._last_demand_level: Optional[str] = None
 
     # ------------------------------------------------------------------ helpers
 
@@ -92,6 +99,7 @@ class MemoryHierarchy:
         if self.l1d.access(address):
             self._run_prefetchers(pc, address)
             self.level_counts["L1D"] += 1
+            self._last_demand_level = "L1D"
             return latency + cfg.l1d.latency, "L1D"
         if self.l2.access(address):
             level, extra = "L2", cfg.l2.latency
@@ -106,6 +114,7 @@ class MemoryHierarchy:
         self.l2.fill(address)
         self._fill_l1(address)
         self._run_prefetchers(pc, address)
+        self._last_demand_level = level
         return latency + cfg.l1d.latency + extra, level
 
     def store_access(self, address: int, pc: int = 0) -> int:
@@ -126,19 +135,44 @@ class MemoryHierarchy:
         self.l2.invalidate(address)
         self.llc.invalidate(address)
 
-    def next_ready_cycle(self) -> Optional[int]:
-        """Earliest future cycle at which the hierarchy changes state on its own.
+    def note_inflight(self, completion_cycle: int) -> None:
+        """Record that the most recent demand load's data returns to the core
+        at ``completion_cycle``.
 
-        The caches and prefetchers mutate only when an access drives them, and
-        every access latency is charged up front at the access — there are no
-        in-flight MSHR-style transactions completing at a later wall-clock
-        time.  The only component that could own a timer is DRAM, so this
-        simply forwards its (currently always-``None``) answer.  The
-        event-driven core folds this query into its next-interesting-cycle
-        computation; a hierarchy gaining MSHRs or a busy-until DRAM only has
-        to return its earliest timer here to keep cycle skipping exact.
+        Called by the core at load issue with the completion cycle it pushed
+        onto its completion heap (AGU plus the hierarchy latency this access
+        reported), so the hierarchy's forward timer matches the event the
+        core will actually observe.  When DRAM serviced the miss, the timer
+        is forwarded to the DRAM model too — main memory then owns a genuine
+        transaction-completion timer of its own.
         """
-        return self.dram.next_ready_cycle()
+        earliest = self._earliest_inflight
+        if earliest is None or completion_cycle < earliest:
+            self._earliest_inflight = completion_cycle
+        if self._last_demand_level == "DRAM":
+            self.dram.note_inflight(completion_cycle)
+
+    def next_ready_cycle(self, now: int) -> Optional[int]:
+        """Earliest known future cycle at which an in-flight access completes.
+
+        The caches and prefetchers charge every latency up front at access
+        time, so the hierarchy's forward timer is the earliest *demand load
+        data return* recorded by :meth:`note_inflight` that is still ahead of
+        ``now``, combined with the DRAM model's own transaction timer.  An
+        expired timer is dropped (the next in-flight completion is not
+        locally derivable; the core's completion heap still bounds the skip
+        target, so forgetting can only delay a skip, never land it past an
+        event).  Returns None when nothing is known to be in flight.
+        """
+        earliest = self._earliest_inflight
+        if earliest is not None and earliest <= now:
+            self._earliest_inflight = earliest = None
+        dram_ready = self.dram.next_ready_cycle(now)
+        if earliest is None:
+            return dram_ready
+        if dram_ready is None:
+            return earliest
+        return min(earliest, dram_ready)
 
     # -------------------------------------------------------------------- stats
 

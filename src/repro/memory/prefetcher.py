@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class _StrideEntry:
     last_address: int
     stride: int = 0

@@ -15,28 +15,70 @@ Two execution engines drive the same stage pipeline:
 
 * ``"cycle"`` — the reference stepper: every cycle runs every stage, idle or
   not.
-* ``"event"`` (default) — event-driven cycle skipping: after a cycle in which
-  *no* stage made progress, the core computes the next "interesting" cycle
-  (minimum over the completion-heap head, each thread's front-end refill
-  timer, and the next-ready queries of the memory hierarchy, execution ports
-  and store queues) and advances ``self.cycle`` straight to it instead of
-  ticking through the idle gap.  Long memory stalls — the dominant cost of
-  the paper's memory-bound workloads — collapse from hundreds of no-op stage
-  sweeps into one jump.
+* ``"event"`` (default) — pure-stage gating plus event-driven cycle skipping:
+  each stepped cycle calls only the stages whose wake predicate holds, and
+  when no stage **acted** — retired, popped, issued, renamed or fetched
+  something, or performed a side-effecting stall the reference re-runs every
+  cycle — the cycle was provably idle, so the core computes the next
+  "interesting" cycle (minimum over the completion-heap head, each thread's
+  front-end refill timer, and the next-ready timers of the memory hierarchy,
+  execution ports and store queues) and advances ``self.cycle`` straight to
+  it instead of ticking through the idle gap.  Long memory stalls collapse
+  into one jump, and dense compute-bound phases — where the skip machinery
+  rarely fires — pay only for the stages that actually have work.
 
-The two engines are bit-identical by construction.  A zero-progress cycle
-leaves the whole machine state untouched except for two per-cycle accounting
-counters (the port model's cycle count and the SLD-updates-per-cycle
-histogram's zero bucket), which the skip replays in bulk.  No stage can
-become able to make progress *during* an idle gap except through one of the
-events the skip target minimises over: source operands only ever become ready
-at completion-heap pops, retire waits on the heap too, rename waits on
-resources freed by retire/flush, and fetch waits on the refill timer or a
-branch resolution (again the heap).  One stall shape is excluded from
-skipping outright: a load whose rename attempt finds the reservation station
-full only *after* running its side-effecting mechanisms (Constable SLD
-lookup, LVP predict, RFP prefetch) — the reference repeats those effects
-every stalled cycle, so such cycles step one by one until the RS drains.
+The two engines are bit-identical by construction, resting on two pillars:
+
+* **Pure-stage gating.**  A stage is gated off on a stepped cycle only when
+  its full run would have been observably pure: retire when no ROB head is
+  complete-and-mature (and no thread is newly drained), writeback when the
+  heap head is still in the future, issue when the reservation station is
+  quiescent (nothing issued last sweep and no wake event — completion pop,
+  RS insertion, or flush — has happened since), rename when every non-empty
+  IDQ head is blocked on an allocation-pool check that precedes all side
+  effects, and fetch when every thread is blocked, redirected, or IDQ-full.
+  Predicates are evaluated in stage order, so an earlier stage's effects are
+  visible to later predicates exactly as the reference sweep would see them.
+  Skipping a provable no-op cannot change machine state, so the stepped
+  machine stays cycle-exact against the reference sweep.  The retire, rename
+  and fetch predicates are *exact* — whenever one holds, its sweep acts; the
+  rename predicate in particular keeps the one side-effecting stall shape
+  stepping cycle by cycle (a load that finds the reservation station full
+  after running its rename mechanisms — Constable SLD lookup, LVP predict,
+  RFP prefetch — has allocatable pools, so rename re-runs, and re-applies
+  those effects, every cycle, just like the reference).  The issue gate is
+  conservative, so the sweep's own "issued anything" report decides whether
+  the cycle counts as acted: a sweep that claimed no port changed nothing
+  observable.
+* **Exact skipping.**  A cycle in which no stage acted leaves the whole
+  machine state untouched except for two per-cycle accounting counters (the
+  port model's cycle count and the SLD-updates-per-cycle histogram's zero
+  bucket), which the skip replays in bulk.  No stage can start acting
+  *during* an idle gap except through one of the events the skip target
+  minimises over: source operands only ever become ready at completion-heap
+  pops, retire waits on the heap too, rename waits on resources freed by
+  retire/flush, and fetch waits on the refill timer or a branch resolution
+  (again the heap).  The per-resource timers (ports, store queues, memory
+  hierarchy, DRAM) each mirror a completion the core also scheduled on its
+  heap — see :meth:`OutOfOrderCore._next_event_cycle` for why that keeps the
+  minimum exact.
+
+On top of the two pillars the event engine adds one flattening of *where*
+work happens without changing *what* happens: **exact dependence wakeup**.
+Its issue sweep parks a dependence-blocked micro-op in the waiters list of
+one still-unready producer instead of rescanning it every sweep; the
+producer's completion pop moves the waiters back into the scan, which merges
+them in reservation-station insertion order (``rs_slot``) — exactly the
+order the reference's linear rescan would have visited them.  This is sound
+because producer readiness can only change at a completion pop (every
+readiness stamp uses the *current* cycle, so a producer captured as a
+dependence is always unknown-ready until its pop), and flush-safe because a
+consumer is always younger than its producer, so any flush that squashes a
+parked op's producer squashes the parked op too.  The reference stepper
+never parks — it re-derives readiness from scratch each cycle by definition,
+and paying it no new per-cycle cost keeps the two engines' walls honestly
+comparable.
+
 The differential tests in ``tests/test_event_driven.py`` and the golden
 fixtures pin this equivalence.
 """
@@ -44,6 +86,7 @@ fixtures pin this equivalence.
 from __future__ import annotations
 
 import heapq
+import operator
 import os
 import warnings
 from collections import deque
@@ -76,6 +119,10 @@ OWN_CORE = 0
 
 #: Environment variable selecting the default execution engine.
 CORE_ENGINE_ENV = "REPRO_CORE_ENGINE"
+
+#: Sort key restoring reservation-station age order when parked
+#: dependence-blocked micro-ops are merged back into the issue scan.
+_RS_SLOT = operator.attrgetter("rs_slot")
 
 #: Supported execution engines: event-driven cycle skipping (default) and the
 #: per-cycle reference stepper it is differentially tested against.
@@ -129,7 +176,10 @@ class _ThreadState:
         self.fetch_blocked_until = 0
         self.pending_redirect_seq: Optional[int] = None
         self.idq: deque = deque()
-        self.rob: List[InflightOp] = []
+        # Age-ordered window; a deque so per-instruction head retirement is
+        # O(1) instead of shifting the whole window (flush-path index/slice
+        # operations are rare and tolerate the deque's O(n)).
+        self.rob: deque = deque()
         self.load_buffer: List[InflightOp] = []
         self.store_queue = StoreQueue()
         self.rat: RegisterAliasTable = RegisterAliasTable(config.num_registers)
@@ -214,10 +264,41 @@ class OutOfOrderCore:
         self._rs_waiting: List[InflightOp] = []
         self._denied_nonstable_load_this_cycle = False
         self._issued_loads_this_cycle: List[InflightOp] = []
-        # True when this cycle a load's rename attempt stalled on a full RS
-        # *after* running its side-effecting mechanisms; such cycles must not
-        # be skipped (the reference repeats the side effects every cycle).
-        self._rename_stall_after_side_effects = False
+        # True while nothing in the reservation station can possibly issue:
+        # set when an issue sweep claims no port, cleared by every wake event
+        # (completion-heap pop, RS insertion, flush).  Lets the event engine
+        # gate the issue stage off on stepped cycles.
+        self._issue_quiescent = False
+        # Exact dependence wakeup (event engine only).  Producer readiness
+        # changes *only* when the producer's completion pops (every
+        # mark_value_ready call stamps the current cycle, so a producer
+        # captured into depends_on is always unknown-ready until its
+        # completion pops).  The event engine's issue sweep therefore parks
+        # a dependence-blocked micro-op in the waiters list of one unready
+        # producer; the producer's pop moves the dependents into _rs_woken,
+        # and the next sweep merges them back in rs_slot age order.  The
+        # reference stepper re-derives readiness from scratch every cycle by
+        # definition, so it never parks.
+        self._park_blocked = engine == "event"
+        self._rs_woken: List[InflightOp] = []
+        #: Monotone RS insertion counter backing InflightOp.rs_slot.
+        self._rs_slot_counter = 0
+        # Set by _rename_one when a stall itself had side effects (SLD-port
+        # stall statistics, rename mechanisms re-run against a full RS);
+        # _rename_stage folds it into its "acted" report.
+        self._rename_stall_acted = False
+        # Threads with a Constable engine attached (fixed after construction);
+        # hoisted because both run loops touch it every cycle.
+        self._constable_threads = [t for t in self.threads
+                                   if t.constable is not None]
+        # Precomputed per-opclass execution latencies for RS-bound non-load
+        # micro-ops (PR 4 flattened static decode the same way): rename stamps
+        # each uop's ``exec_latency`` once via identity checks (no enum
+        # hashing), and the issue sweep reads one slot per uop instead of
+        # chasing config attributes.
+        self._alu_latency = config.alu_latency
+        self._mul_latency = config.mul_latency
+        self._div_latency = config.div_latency
         #: Idle cycles the event engine jumped over instead of stepping.
         self.skipped_idle_cycles = 0
         #: Cycles in which the stage pipeline actually ran.
@@ -247,6 +328,8 @@ class OutOfOrderCore:
 
     def _deliver_snoops(self, thread: _ThreadState) -> None:
         """Deliver snoop events anchored before the next instruction to fetch."""
+        if thread.snoop_index >= len(thread.snoops):
+            return
         next_seq = (thread.instructions[thread.fetch_index].seq
                     if not thread.fetch_done() else None)
         while thread.snoop_index < len(thread.snoops):
@@ -271,17 +354,27 @@ class OutOfOrderCore:
             constable.on_register_write(register)
 
     def _fetch_thread(self, thread: _ThreadState, budget: int) -> int:
+        # The block/redirect conditions cannot start holding mid-sweep (a
+        # mispredict breaks out directly), so they are checked once up front;
+        # the loop re-checks only the conditions fetching itself changes.
+        if (self.cycle < thread.fetch_blocked_until
+                or thread.pending_redirect_seq is not None):
+            return 0
         fetched = 0
-        while (fetched < budget and not thread.fetch_done()
-               and len(thread.idq) < self.config.idq_entries
-               and self.cycle >= thread.fetch_blocked_until
-               and thread.pending_redirect_seq is None):
-            self._deliver_snoops(thread)
-            dyn = thread.instructions[thread.fetch_index]
-            thread.idq.append((dyn, thread.fetch_index))
-            thread.fetch_index += 1
+        instructions = thread.instructions
+        total = len(instructions)
+        idq = thread.idq
+        idq_entries = self.config.idq_entries
+        snoops_len = len(thread.snoops)
+        while (fetched < budget and thread.fetch_index < total
+               and len(idq) < idq_entries):
+            if thread.snoop_index < snoops_len:
+                self._deliver_snoops(thread)
+            index = thread.fetch_index
+            dyn = instructions[index]
+            idq.append((dyn, index))
+            thread.fetch_index = index + 1
             fetched += 1
-            self.stats.uops_fetched += 1
             if dyn.is_branch:
                 is_conditional = dyn.static.opclass is OpClass.BRANCH
                 predicted = self.branch_predictor.predict_taken(dyn.pc, is_conditional)
@@ -293,28 +386,44 @@ class OutOfOrderCore:
                     self.stats.branch_mispredictions += 1
                     self._apply_wrong_path_noise(thread, dyn.pc)
                     break
+        self.stats.uops_fetched += fetched
         return fetched
 
-    def _fetch_stage(self) -> None:
+    def _fetch_stage(self) -> bool:
+        """Run the fetch sweep; True if any micro-op was fetched.
+
+        A zero-fetch sweep never entered a loop body (every thread failed the
+        entry conditions), so it was observably pure.
+        """
         budget = self.config.fetch_width
+        fetched = 0
         if self.smt:
             per_thread = max(1, budget // len(self.threads))
             for offset in range(len(self.threads)):
                 thread = self.threads[(self.cycle + offset) % len(self.threads)]
-                self._fetch_thread(thread, per_thread)
+                fetched += self._fetch_thread(thread, per_thread)
         else:
-            self._fetch_thread(self.threads[0], budget)
+            fetched = self._fetch_thread(self.threads[0], budget)
+        return fetched > 0
 
     # ==================================================================== rename
 
     def _producer_sources(self, thread: _ThreadState, dyn: DynamicInstruction,
                           op: InflightOp) -> None:
-        for register in dyn.static.source_registers():
-            producer = thread.rat.producer_of(register)
+        # Inlined RegisterAliasTable.producer_of (the per-register lookup
+        # statistic is batched; the mapping itself is a plain dict read).
+        rat = thread.rat
+        producers = rat._producer
+        srcs = dyn.static.source_registers()
+        rat.lookups += len(srcs)
+        cycle = self.cycle
+        depends = op.depends_on
+        for register in srcs:
+            producer = producers[register]
             if producer is not None and not producer.squashed:
                 ready = producer.value_ready_cycle
-                if ready is None or ready > self.cycle:
-                    op.depends_on.append(producer)
+                if ready is None or ready > cycle:
+                    depends.append(producer)
 
     def _rename_load(self, thread: _ThreadState, op: InflightOp) -> None:
         dyn = op.dyn
@@ -394,10 +503,12 @@ class OutOfOrderCore:
         if (thread.constable is not None and dyn.is_load
                 and loads_renamed_this_cycle >= config.constable.sld_read_ports):
             self.stats.rename_stalls_sld_ports += 1
+            self._rename_stall_acted = True
             return None
         if (thread.constable is not None
                 and thread.constable.sld_updates_this_cycle > config.constable.sld_write_ports):
             self.stats.rename_stalls_sld_ports += 1
+            self._rename_stall_acted = True
             return None
 
         op = InflightOp(dyn, thread.thread_id, trace_index, self.cycle)
@@ -411,22 +522,32 @@ class OutOfOrderCore:
         if dyn.is_store and not thread.sb_pool.can_allocate():
             return None
 
-        self._producer_sources(thread, dyn, op)
-
+        # Producer capture happens only on the paths that can reach the
+        # reservation station: a micro-op that completes at rename never has
+        # its depends_on scanned (it never issues), so capturing sources for
+        # it is dead work in both engines.
         if op.optimization is not OptimizationKind.NONE:
             # Folded/eliminated at rename: completes immediately, no RS, no port.
             op.needs_rs = False
             op.executed_at_rename = True
             op.mark_complete(self.cycle)
         elif dyn.is_load:
+            self._producer_sources(thread, dyn, op)
             self._rename_load(thread, op)
         elif dyn.is_store:
+            self._producer_sources(thread, dyn, op)
             op.port_kind = PortKind.STORE_ADDRESS
+            op.exec_latency = config.agu_latency
         elif (dyn.is_branch
               or dyn.static.opclass in (OpClass.ALU, OpClass.MUL, OpClass.DIV,
                                         OpClass.MOVE_REG, OpClass.MOVE_IMM)):
             # Non-folded moves execute on an ALU port like any other integer op.
+            self._producer_sources(thread, dyn, op)
             op.port_kind = PortKind.ALU
+            opclass = dyn.static.opclass
+            op.exec_latency = (self._mul_latency if opclass is OpClass.MUL
+                               else self._div_latency if opclass is OpClass.DIV
+                               else self._alu_latency)
         else:
             op.needs_rs = False
             op.executed_at_rename = True
@@ -437,27 +558,46 @@ class OutOfOrderCore:
 
         needs_rs = op.needs_rs and not op.executed_at_rename
         if needs_rs and not self.rs_pool.can_allocate():
-            if dyn.is_load:
-                # The attempt already ran the rename-stage load mechanisms
-                # (Constable SLD lookup, LVP predict, RFP prefetch into the
-                # real hierarchy) before discovering the RS is full, and the
-                # per-cycle reference re-runs them on every stalled cycle.
-                # Flag the cycle so the event engine does not skip the gap —
-                # eliding those repeats would diverge observable statistics.
-                self._rename_stall_after_side_effects = True
+            # A load reaching this point already ran its rename-stage
+            # mechanisms (Constable SLD lookup, LVP predict, RFP prefetch
+            # into the real hierarchy), and the per-cycle reference re-runs
+            # them on every stalled cycle.  Flagging the stall as an action
+            # keeps the event engine stepping such cycles one by one, so the
+            # mechanisms re-fire exactly as often as in the reference.
+            self._rename_stall_acted = True
             return None
 
-        # Claim resources.
-        thread.rob_pool.allocate()
+        # Claim resources (inlined ResourcePool.allocate: capacity was checked
+        # above, so the claim is occupancy bookkeeping only).
+        rob_pool = thread.rob_pool
+        rob_pool.occupied += 1
+        rob_pool.total_allocations += 1
+        if rob_pool.occupied > rob_pool.peak_occupancy:
+            rob_pool.peak_occupancy = rob_pool.occupied
         if dyn.is_load:
-            thread.lb_pool.allocate()
+            lb_pool = thread.lb_pool
+            lb_pool.occupied += 1
+            lb_pool.total_allocations += 1
+            if lb_pool.occupied > lb_pool.peak_occupancy:
+                lb_pool.peak_occupancy = lb_pool.occupied
         if dyn.is_store:
-            thread.sb_pool.allocate()
+            sb_pool = thread.sb_pool
+            sb_pool.occupied += 1
+            sb_pool.total_allocations += 1
+            if sb_pool.occupied > sb_pool.peak_occupancy:
+                sb_pool.peak_occupancy = sb_pool.occupied
             op.store_record = thread.store_queue.insert(dyn.seq, dyn.pc)
         if needs_rs:
-            self.rs_pool.allocate()
+            rs_pool = self.rs_pool
+            rs_pool.occupied += 1
+            rs_pool.total_allocations += 1
+            if rs_pool.occupied > rs_pool.peak_occupancy:
+                rs_pool.peak_occupancy = rs_pool.occupied
             op.in_rs = True
+            op.rs_slot = self._rs_slot_counter
+            self._rs_slot_counter += 1
             self._rs_waiting.append(op)
+            self._issue_quiescent = False
 
         # Constable: every destination write is visible to the RMT (steps 7-8).
         if thread.constable is not None and dyn.static.dest is not None:
@@ -485,7 +625,16 @@ class OutOfOrderCore:
             self.stats.branches_renamed += 1
         return op
 
-    def _rename_stage(self) -> None:
+    def _rename_stage(self) -> bool:
+        """Run the rename sweep; True if it acted.
+
+        "Acted" means a micro-op was renamed or a *side-effecting* stall
+        fired (an SLD-port stall statistic, or a load re-running its rename
+        mechanisms against a full reservation station — both flagged by
+        :meth:`_rename_one`).  A False sweep only probed allocation pools and
+        invisible classifier scratch, so it was observably pure.
+        """
+        self._rename_stall_acted = False
         budget = self.config.rename_width
         thread_order = [self.threads[(self.cycle + i) % len(self.threads)]
                         for i in range(len(self.threads))]
@@ -510,6 +659,7 @@ class OutOfOrderCore:
                 progress = True
             if not progress:
                 break
+        return renamed > 0 or self._rename_stall_acted
 
     # ===================================================================== issue
 
@@ -528,12 +678,18 @@ class OutOfOrderCore:
         if forwarding is not None and forwarding.data_ready:
             self.stats.loads_forwarded_from_store += 1
             latency = config.agu_latency + config.store_forward_latency
+            hierarchy_access = False
         else:
             memory_latency, _ = self.hierarchy.load_access(address, dyn.pc)
             latency = config.agu_latency + memory_latency
+            hierarchy_access = True
 
         if op.elar_early and self.elar is not None:
             latency = max(1, latency - self.elar.latency_savings())
+        if hierarchy_access:
+            # Tell the hierarchy when this access's data returns to the core;
+            # it mirrors the completion the caller schedules on the heap.
+            self.hierarchy.note_inflight(self.cycle + latency)
         return latency
 
     def _execute_store_address(self, thread: _ThreadState, op: InflightOp) -> None:
@@ -572,39 +728,86 @@ class OutOfOrderCore:
                 thread.constable.on_ordering_violation(victim.pc)
             self._flush_from(thread, victim, reason="ordering")
 
-    def _issue_stage(self) -> None:
+    def _issue_stage(self) -> bool:
+        """Run the issue sweep; True if any micro-op claimed a port.
+
+        A False sweep is observably pure: no port was claimed, so every
+        waiting micro-op failed a condition (operand readiness, a
+        store-ordering wait) that only a wake event can change.  The sweep
+        records that by setting :attr:`_issue_quiescent`, which gates further
+        sweeps off until a wake event clears it.
+        """
         config = self.config
+        cycle = self.cycle
+        stats = self.stats
+        ports = self.ports
+        threads = self.threads
+        rs_pool = self.rs_pool
+        should_wait_for_stores = self.dependence_predictor.should_wait_for_stores
         self._denied_nonstable_load_this_cycle = False
         self._issued_loads_this_cycle = []
+        issued_any = False
         still_waiting: List[InflightOp] = []
-        for op in self._rs_waiting:
+        waiting_append = still_waiting.append
+        # Merge micro-ops woken by completed producers back into the scan at
+        # their original age position (the reference's scan order is exactly
+        # ascending rs_slot).
+        scan = self._rs_waiting
+        if self._rs_woken:
+            scan = scan + self._rs_woken
+            scan.sort(key=_RS_SLOT)
+            self._rs_woken = []
+        park = self._park_blocked
+        for op in scan:
             if op.squashed:
                 continue
             if op.issued:
                 continue
-            thread = self.threads[op.thread]
-            if not op.sources_ready(self.cycle):
-                still_waiting.append(op)
-                continue
+            # Inlined InflightOp.sources_ready with the same pruning of
+            # already-satisfied producers (readiness is monotone).  A micro-op
+            # still dependence-blocked parks in one unready producer's
+            # waiters list until that completion pops and re-wakes it.
+            deps = op.depends_on
+            if deps:
+                keep = 0
+                for producer in deps:
+                    ready = producer.value_ready_cycle
+                    if ready is None or ready > cycle:
+                        deps[keep] = producer
+                        keep += 1
+                if keep:
+                    del deps[keep:]
+                    if park:
+                        producer = deps[0]
+                        w = producer.waiters
+                        if w is None:
+                            producer.waiters = [op]
+                        else:
+                            w.append(op)
+                    else:
+                        waiting_append(op)
+                    continue
+                del deps[:]
+            thread = threads[op.thread]
             if (op.is_load
-                    and self.dependence_predictor.should_wait_for_stores(op.pc)
+                    and should_wait_for_stores(op.pc)
                     and thread.store_queue.has_unresolved_older_store(op.seq)):
-                still_waiting.append(op)
+                waiting_append(op)
                 continue
             kind = op.port_kind or PortKind.ALU
-            if not self.ports.issue(kind):
+            if not ports.issue(kind):
                 if op.is_load and not op.oracle_stable:
                     self._denied_nonstable_load_this_cycle = True
-                still_waiting.append(op)
+                waiting_append(op)
                 continue
 
             op.issued = True
-            op.issue_cycle = self.cycle
-            self.rs_pool.release()
+            op.issue_cycle = cycle
+            rs_pool.occupied -= 1  # inlined release; every issuer holds an entry
             op.in_rs = False
-            self.stats.rs_issues += 1
+            stats.rs_issues += 1
+            issued_any = True
 
-            opclass = op.dyn.static.opclass
             if op.is_load:
                 ideal_fetch_elim = (op.ideal_covered and self.oracle is not None
                                     and self.oracle.mode is IdealMode.STABLE_LVP_FETCH_ELIM)
@@ -612,27 +815,36 @@ class OutOfOrderCore:
                     latency = config.agu_latency
                 else:
                     latency = self._load_latency(thread, op)
-                self.stats.loads_executed += 1
-                self.stats.agu_ops += 1
+                stats.loads_executed += 1
+                stats.agu_ops += 1
                 self._issued_loads_this_cycle.append(op)
                 if op.value_obtained_cycle is None:
-                    op.value_obtained_cycle = self.cycle + latency
-            elif op.is_store:
-                latency = config.agu_latency
-                self.stats.agu_ops += 1
-            elif opclass is OpClass.MUL:
-                latency = config.mul_latency
-                self.stats.mul_ops += 1
-            elif opclass is OpClass.DIV:
-                latency = config.div_latency
-                self.stats.div_ops += 1
+                    op.value_obtained_cycle = cycle + latency
             else:
-                latency = config.alu_latency
-                self.stats.alu_ops += 1
+                latency = op.exec_latency
+                if op.is_store:
+                    stats.agu_ops += 1
+                    # The store's address-generation slot: the queue's own
+                    # next-release timer (mirrors the heap entry below).
+                    op.store_record.resolve_cycle = cycle + latency
+                else:
+                    opclass = op.opclass
+                    if opclass is OpClass.MUL:
+                        stats.mul_ops += 1
+                    elif opclass is OpClass.DIV:
+                        stats.div_ops += 1
+                    else:
+                        stats.alu_ops += 1
 
-            self._schedule_completion(op, self.cycle + latency)
+            completion = cycle + latency
+            self._schedule_completion(op, completion)
+            ports.note_inflight(completion)
 
         self._rs_waiting = still_waiting
+        # If nothing issued, no port was claimed either, so every waiting uop
+        # failed a condition (operand readiness, store-ordering wait) that
+        # only a wake event can change — the station is quiescent until then.
+        self._issue_quiescent = not issued_any
 
         if self._issued_loads_this_cycle:
             self.stats.load_utilized_cycles += 1
@@ -641,6 +853,7 @@ class OutOfOrderCore:
                 self.stats.load_utilized_cycles_stable_blocking += 1
             elif stable_issued:
                 self.stats.load_utilized_cycles_stable_only += 1
+        return issued_any
 
     # ================================================================= writeback
 
@@ -690,25 +903,45 @@ class OutOfOrderCore:
 
         self.dependence_predictor.observe_safe_execution(dyn.pc)
 
-    def _writeback_stage(self) -> None:
-        while self._completion_heap and self._completion_heap[0][0] <= self.cycle:
-            _, _, op = heapq.heappop(self._completion_heap)
+    def _writeback_stage(self) -> bool:
+        """Run the writeback sweep; True if any completion was popped.
+
+        Popping a squashed completion is counted as acting even though it is
+        unobservable — that is merely conservative (the cycle steps instead
+        of being skipped).  A False sweep never entered the loop, so it was
+        pure.
+        """
+        acted = False
+        heap = self._completion_heap
+        heappop = heapq.heappop
+        cycle = self.cycle
+        while heap and heap[0][0] <= cycle:
+            _, _, op = heappop(heap)
+            acted = True
+            # A completion is a wake event for the issue stage: operands may
+            # become ready, store addresses resolve, ordering waits clear.
+            self._issue_quiescent = False
             if op.squashed:
                 continue
             thread = self.threads[op.thread]
             op.mark_complete(self.cycle)
+            waiters = op.waiters
+            if waiters is not None:
+                # Dependents parked on this producer re-enter the issue scan.
+                op.waiters = None
+                self._rs_woken.extend(waiters)
             if op.is_load:
                 self._writeback_load(thread, op)
             elif op.is_store:
                 self._execute_store_address(thread, op)
             elif op.dyn.is_branch:
                 is_conditional = op.dyn.static.opclass is OpClass.BRANCH
-                predicted = self.branch_predictor.predict_taken(op.pc, is_conditional)
-                self.branch_predictor.resolve(op.pc, is_conditional, predicted,
-                                              op.dyn.branch_taken)
+                self.branch_predictor.resolve_at_writeback(
+                    op.pc, is_conditional, op.dyn.branch_taken)
                 if thread.pending_redirect_seq == op.seq:
                     thread.pending_redirect_seq = None
                     thread.fetch_blocked_until = self.cycle + self.config.frontend_refill_cycles
+        return acted
 
     # ==================================================================== retire
 
@@ -725,19 +958,32 @@ class OutOfOrderCore:
             # Ideal stable LVP modes execute the load, nothing extra to check.
             return
 
-    def _retire_thread(self, thread: _ThreadState, budget: int) -> int:
+    def _retire_thread(self, thread: _ThreadState, budget: int) -> bool:
+        """Retire up to ``budget`` micro-ops; True if the sweep acted.
+
+        "Acted" means a micro-op retired or the thread just drained and had
+        its finish cycle stamped.  A False sweep only inspected the ROB head,
+        so it was observably pure.
+        """
         retired = 0
-        while retired < budget and thread.rob:
-            op = thread.rob[0]
+        rob = thread.rob
+        while retired < budget and rob:
+            op = rob[0]
             if not op.complete or (op.complete_cycle is not None
                                    and op.complete_cycle > self.cycle):
                 break
-            thread.rob.pop(0)
+            rob.popleft()
             if op.is_load:
                 self._golden_check(op)
-                if op in thread.load_buffer:
-                    thread.load_buffer.remove(op)
-                thread.lb_pool.release()
+                # Loads usually retire in buffer order, so the head is the
+                # common case; fall back to a scan for out-of-order removal
+                # (a load squashed out of the buffer is simply absent).
+                load_buffer = thread.load_buffer
+                if load_buffer and load_buffer[0] is op:
+                    del load_buffer[0]
+                elif op in load_buffer:
+                    load_buffer.remove(op)
+                thread.lb_pool.occupied -= 1
                 if op.eliminated:
                     self.stats.eliminated_loads_retired += 1
                     if op.oracle_stable:
@@ -750,45 +996,55 @@ class OutOfOrderCore:
                 self.hierarchy.store_access(op.dyn.address, op.pc)
                 self.stats.store_commits += 1
                 thread.store_queue.remove(op.seq)
-                thread.sb_pool.release()
+                thread.sb_pool.occupied -= 1
             if op.dest is not None:
                 thread.rat.clear_producer(op.dest, op)
-            thread.rob_pool.release()
+            thread.rob_pool.occupied -= 1
             op.retired = True
             retired += 1
             thread.retired_instructions += 1
             self.stats.instructions_retired += 1
-        if thread.done() and thread.finish_cycle is None:
+        acted = retired > 0
+        if thread.finish_cycle is None and thread.done():
             thread.finish_cycle = self.cycle
-        return retired
+            acted = True
+        return acted
 
-    def _retire_stage(self) -> None:
+    def _retire_stage(self) -> bool:
+        """Run the retire sweep; True if any thread's sweep acted."""
         budget = self.config.retire_width
         if self.smt:
             per_thread = max(1, budget // len(self.threads))
+            acted = False
             for thread in self.threads:
-                self._retire_thread(thread, per_thread)
-        else:
-            self._retire_thread(self.threads[0], budget)
+                if self._retire_thread(thread, per_thread):
+                    acted = True
+            return acted
+        return self._retire_thread(self.threads[0], budget)
 
     # ===================================================================== flush
 
     def _squash(self, thread: _ThreadState, op: InflightOp) -> None:
         op.squashed = True
         if op.in_rs:
-            self.rs_pool.release()
+            self.rs_pool.occupied -= 1  # inlined release
             op.in_rs = False
         if op.is_load:
-            if op in thread.load_buffer:
-                thread.load_buffer.remove(op)
-            thread.lb_pool.release()
+            # Flushes squash the window youngest-first, so the victim is
+            # usually the buffer tail.
+            load_buffer = thread.load_buffer
+            if load_buffer and load_buffer[-1] is op:
+                load_buffer.pop()
+            elif op in load_buffer:
+                load_buffer.remove(op)
+            thread.lb_pool.occupied -= 1
             if op.eliminated and thread.constable is not None:
                 thread.constable.release_xprf()
         if op.is_store:
-            thread.sb_pool.release()
+            thread.sb_pool.occupied -= 1
         if op.dest is not None:
             thread.rat.clear_producer(op.dest, op)
-        thread.rob_pool.release()
+        thread.rob_pool.occupied -= 1
         self.stats.reexecuted_uops += 1
 
     def _flush_from(self, thread: _ThreadState, first_victim: InflightOp,
@@ -797,16 +1053,18 @@ class OutOfOrderCore:
         self.stats.flushes += 1
         if first_victim.is_load:
             first_victim.reexecuted = True
+        rob = thread.rob
         try:
-            start = thread.rob.index(first_victim)
+            start = rob.index(first_victim)
         except ValueError:
             return
-        victims = thread.rob[start:]
-        del thread.rob[start:]
-        for op in victims:
-            self._squash(thread, op)
+        # Pop the victims off the tail (squash order is unobservable: pool
+        # releases are counts and the RAT is rebuilt below).
+        while len(rob) > start:
+            self._squash(thread, rob.pop())
         thread.store_queue.squash_younger_than(first_victim.seq - 1)
         self._rs_waiting = [op for op in self._rs_waiting if not op.squashed]
+        self._issue_quiescent = False
         thread.rat.rebuild(thread.rob, lambda op: op.dest if not op.squashed else None)
         thread.idq.clear()
         thread.fetch_index = first_victim.trace_index
@@ -832,46 +1090,39 @@ class OutOfOrderCore:
 
     # ======================================================================= run
 
-    def _progress_token(self) -> Tuple[int, int, int, int, int, int, int]:
-        """A fingerprint of every counter some stage bumps when it does work.
-
-        If the token is unchanged across one full stage sweep, the cycle was
-        idle: nothing fetched (``uops_fetched``, which also covers snoop
-        delivery and branch-redirect setup — both happen only while an
-        instruction is fetched), nothing renamed, nothing issued or scheduled
-        (``rs_issues`` plus the monotone heap push counter), nothing written
-        back or resolved (heap length), nothing retired, and no flush
-        (``flushes`` covers both recovery paths).
-        """
-        stats = self.stats
-        return (stats.uops_fetched, stats.uops_renamed, stats.rs_issues,
-                stats.instructions_retired, stats.flushes,
-                self._heap_counter, len(self._completion_heap))
-
     def _next_event_cycle(self) -> Optional[int]:
         """The next cycle at which an idle machine can make progress, or None.
 
         After a zero-progress cycle, every stage is blocked on a condition
         that only one of these events can change (see the module docstring's
         equivalence argument): the earliest scheduled completion, a thread's
-        front-end refill timer, or a timed resource becoming ready.  The
-        next-ready queries currently all answer ``None`` (the port, store
-        queue and memory models charge latency at access time), but folding
-        them in here keeps the skip exact if any of them ever grows a timer.
+        front-end refill timer, or a resource timer firing.  The resource
+        models own genuine forward timers now: the execution ports and the
+        memory hierarchy report the earliest in-flight completion the core
+        announced to them at issue time (``note_inflight``), DRAM the
+        earliest outstanding main-memory transaction, and each store queue
+        the earliest unresolved store's address-resolution slot.  Every such
+        timer mirrors a completion that is *also* on the completion heap, so
+        folding them in can never move the minimum past a state change — and
+        a hypothetical early timer would only make the engine step one extra
+        provably-idle cycle, never miss work.  That containment is what keeps
+        the skip exact while letting each resource answer for itself.
         """
+        cycle = self.cycle
         candidates: List[int] = []
         if self._completion_heap:
             candidates.append(self._completion_heap[0][0])
         for thread in self.threads:
-            if not thread.fetch_done() and thread.fetch_blocked_until > self.cycle:
+            if not thread.fetch_done() and thread.fetch_blocked_until > cycle:
                 candidates.append(thread.fetch_blocked_until)
-        resource_timers = (self.hierarchy.next_ready_cycle(),
-                           self.ports.next_release_cycle())
-        for timer in resource_timers:
-            if timer is not None:
-                candidates.append(timer)
+        timer = self.hierarchy.next_ready_cycle(cycle)
+        if timer is not None:
+            candidates.append(timer)
+        timer = self.ports.next_release_cycle(cycle)
+        if timer is not None:
+            candidates.append(timer)
         for thread in self.threads:
-            timer = thread.store_queue.next_release_cycle()
+            timer = thread.store_queue.next_release_cycle(cycle)
             if timer is not None:
                 candidates.append(timer)
         if not candidates:
@@ -890,9 +1141,9 @@ class OutOfOrderCore:
         """
         target = self._next_event_cycle()
         if target is None:
-            # Genuine deadlock: no scheduled completion and no front-end
-            # timer can ever unblock a stage.  Jump to the runaway guard so
-            # both engines raise the identical diagnostic.
+            # Genuine deadlock: no scheduled completion, front-end refill
+            # timer, or resource timer can ever unblock a stage.  Jump to the
+            # runaway guard so both engines raise the identical diagnostic.
             self.cycle = max_cycles
             return
         resume = min(target, max_cycles + 1)
@@ -900,40 +1151,179 @@ class OutOfOrderCore:
         if skipped <= 0:
             return
         self.ports.skip_idle_cycles(skipped)
-        for thread in self.threads:
-            if thread.constable is not None:
-                self.stats.record_sld_updates(0, cycles=skipped)
+        if self._constable_threads:
+            self.stats.record_sld_updates(
+                0, cycles=skipped * len(self._constable_threads))
         self.skipped_idle_cycles += skipped
         self.cycle = resume - 1
 
-    def run(self) -> SimulationResult:
-        """Simulate until every thread has drained; returns the result record."""
-        total_instructions = sum(len(t.instructions) for t in self.threads)
-        max_cycles = total_instructions * self.config.max_cycles_per_instruction + 10_000
-        event_driven = self.engine == "event"
-        while not all(thread.done() for thread in self.threads):
+    # ------------------------------------------------------ stage wake predicates
+
+    def _retire_can_act(self) -> bool:
+        """True unless a retire sweep would provably be a no-op.
+
+        Mirrors :meth:`_retire_thread`'s loop entry and drain check: the
+        stage only does work when some ROB head is complete and mature
+        (``complete_cycle <= now``) or a thread has just drained and needs
+        its finish cycle stamped.  The predicate is exact: whenever it holds,
+        the sweep retires at least one micro-op or stamps a finish cycle.
+        """
+        cycle = self.cycle
+        for thread in self.threads:
+            rob = thread.rob
+            if rob:
+                head = rob[0]
+                if head.complete and (head.complete_cycle is None
+                                      or head.complete_cycle <= cycle):
+                    return True
+            elif thread.finish_cycle is None and thread.done():
+                return True
+        return False
+
+    def _rename_must_run(self) -> bool:
+        """True unless a rename sweep would provably be a no-op.
+
+        For each thread with a non-empty IDQ the head's rename attempt is
+        observably pure only when it bails at the allocation-pool checks —
+        everything before them (the SLD port checks aside) mutates nothing
+        the result records.  The SLD port checks *do* bump a stall statistic
+        and sit in front of the pool checks, so any state in which they could
+        fire forces the sweep to run.  A load head stalled on a full
+        reservation station also keeps this predicate True (its pools are
+        allocatable), which is exactly what the reference needs: that stall
+        re-runs side-effecting mechanisms (Constable SLD lookup, LVP predict,
+        RFP prefetch) every cycle, so those cycles must step one by one.
+        Whenever the predicate holds the sweep acts — it renames the head or
+        fires one of those side-effecting stalls (both of which
+        :meth:`_rename_stage` would report as actions).
+        """
+        constable_config = self.config.constable
+        for thread in self.threads:
+            idq = thread.idq
+            if not idq:
+                continue
+            head = idq[0][0]
+            constable = thread.constable
+            if constable is not None:
+                if (constable.sld_updates_this_cycle
+                        > constable_config.sld_write_ports):
+                    return True
+                if head.is_load and constable_config.sld_read_ports <= 0:
+                    return True
+            rob_pool = thread.rob_pool
+            if rob_pool.occupied >= rob_pool.capacity:
+                continue
+            if head.is_load:
+                lb_pool = thread.lb_pool
+                if lb_pool.occupied >= lb_pool.capacity:
+                    continue
+            elif head.is_store:
+                sb_pool = thread.sb_pool
+                if sb_pool.occupied >= sb_pool.capacity:
+                    continue
+            return True
+        return False
+
+    def _fetch_can_act(self) -> bool:
+        """True unless a fetch sweep would provably be a no-op (mirrors
+        :meth:`_fetch_thread`'s loop entry conditions exactly, so whenever it
+        holds the sweep fetches at least one micro-op)."""
+        cycle = self.cycle
+        idq_entries = self.config.idq_entries
+        for thread in self.threads:
+            if (thread.fetch_index < len(thread.instructions)
+                    and len(thread.idq) < idq_entries
+                    and cycle >= thread.fetch_blocked_until
+                    and thread.pending_redirect_seq is None):
+                return True
+        return False
+
+    # --------------------------------------------------------------- run loops
+
+    def _run_cycle_engine(self, max_cycles: int) -> None:
+        """The reference stepper: every cycle runs every stage, idle or not."""
+        threads = self.threads
+        constable_threads = self._constable_threads
+        stats = self.stats
+        while not all(thread.done() for thread in threads):
             self.cycle += 1
             if self.cycle > max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded {max_cycles} cycles; likely a deadlock")
             self.ports.new_cycle()
-            for thread in self.threads:
-                if thread.constable is not None:
-                    thread.constable.begin_cycle()
-            before = self._progress_token() if event_driven else None
-            self._rename_stall_after_side_effects = False
+            for thread in constable_threads:
+                thread.constable.begin_cycle()
             self._retire_stage()
             self._writeback_stage()
             self._issue_stage()
             self._rename_stage()
             self._fetch_stage()
-            for thread in self.threads:
-                if thread.constable is not None:
-                    self.stats.record_sld_updates(thread.constable.sld_updates_this_cycle)
+            for thread in constable_threads:
+                stats.record_sld_updates(thread.constable.sld_updates_this_cycle)
             self.stepped_cycles += 1
-            if (event_driven and before == self._progress_token()
-                    and not self._rename_stall_after_side_effects):
+
+    def _run_event_engine(self, max_cycles: int) -> None:
+        """Event-driven stepping: gate pure stages, skip provably idle gaps.
+
+        Per stepped cycle each stage runs only if its wake predicate holds,
+        evaluated in stage order so an earlier stage's effects (a completion
+        pop waking the issue stage, retirement freeing rename's pools) are
+        visible to later predicates exactly as they are to the reference's
+        unconditional sweep.  The retire, rename and fetch predicates are
+        exact (predicate holds ⇔ the sweep acts), so passing one marks the
+        cycle as acted; the issue gate is conservative — the station may hold
+        ready-looking work that still claims no port — so the sweep's own
+        "issued anything" report decides.  When nothing acted, the cycle was
+        provably idle — every gated-off stage's full run would have been a
+        no-op — and no stage can start acting before the next scheduled event
+        (see the module docstring's equivalence argument), so the engine
+        jumps straight to that event.  All three refinements eliminate no-ops
+        only; the machine trajectory is exactly the reference stepper's.
+        """
+        threads = self.threads
+        constable_threads = self._constable_threads
+        stats = self.stats
+        heap = self._completion_heap
+        while not all(thread.done() for thread in threads):
+            self.cycle += 1
+            cycle = self.cycle
+            if cycle > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles; likely a deadlock")
+            self.ports.new_cycle()
+            for thread in constable_threads:
+                thread.constable.begin_cycle()
+            acted = False
+            if self._retire_can_act():
+                self._retire_stage()
+                acted = True
+            if heap and heap[0][0] <= cycle:
+                self._writeback_stage()
+                acted = True
+            if ((self._rs_waiting or self._rs_woken)
+                    and not self._issue_quiescent):
+                if self._issue_stage():
+                    acted = True
+            if self._rename_must_run():
+                self._rename_stage()
+                acted = True
+            if self._fetch_can_act():
+                self._fetch_stage()
+                acted = True
+            for thread in constable_threads:
+                stats.record_sld_updates(thread.constable.sld_updates_this_cycle)
+            self.stepped_cycles += 1
+            if not acted:
                 self._skip_idle_gap(max_cycles)
+
+    def run(self) -> SimulationResult:
+        """Simulate until every thread has drained; returns the result record."""
+        total_instructions = sum(len(t.instructions) for t in self.threads)
+        max_cycles = total_instructions * self.config.max_cycles_per_instruction + 10_000
+        if self.engine == "event":
+            self._run_event_engine(max_cycles)
+        else:
+            self._run_cycle_engine(max_cycles)
         self.stats.cycles = self.cycle
         return self._build_result()
 

@@ -13,10 +13,10 @@ class InflightOp:
     __slots__ = (
         "dyn", "thread", "trace_index", "rename_cycle",
         "seq", "pc", "opclass", "dest",
-        "depends_on", "needs_rs", "port_kind",
+        "depends_on", "needs_rs", "port_kind", "exec_latency",
         "complete", "complete_cycle", "value_ready_cycle",
         "issued", "issue_cycle", "finish_cycle",
-        "squashed", "in_rs",
+        "squashed", "in_rs", "rs_slot", "waiters",
         # loads
         "is_load", "is_store",
         "eliminated", "likely_stable", "constable_value", "constable_address",
@@ -45,6 +45,9 @@ class InflightOp:
         self.depends_on: List["InflightOp"] = []
         self.needs_rs = True
         self.port_kind = None
+        # Issue-time execution latency, precomputed at rename for non-load
+        # RS-bound uops (loads derive theirs from the memory hierarchy).
+        self.exec_latency = 0
         self.complete = False
         self.complete_cycle: Optional[int] = None
         self.value_ready_cycle: Optional[int] = None
@@ -53,6 +56,16 @@ class InflightOp:
         self.finish_cycle: Optional[int] = None
         self.squashed = False
         self.in_rs = False
+        # Reservation-station insertion order (monotone across the whole
+        # run); the issue stage's scan order is exactly ascending rs_slot,
+        # so parked dependence-blocked micro-ops can be merged back into the
+        # scan list at their original age position.
+        self.rs_slot = 0
+        # Dependence-blocked micro-ops parked on this producer by the event
+        # engine's issue scan (None when empty).  When this op's completion
+        # pops, the core moves them back into the scan list; a parked op
+        # lives in exactly one producer's waiters list.
+        self.waiters: Optional[List["InflightOp"]] = None
         self.is_load = dyn.is_load
         self.is_store = dyn.is_store
         self.eliminated = False
@@ -78,11 +91,27 @@ class InflightOp:
     # ------------------------------------------------------------------ queries
 
     def sources_ready(self, cycle: int) -> bool:
-        """True if every producer has made its value available by ``cycle``."""
-        for producer in self.depends_on:
+        """True if every producer has made its value available by ``cycle``.
+
+        Producers whose value is already available are pruned from
+        ``depends_on`` as a side effect: readiness is monotone (a value never
+        becomes un-ready), so dropping satisfied producers cannot change any
+        later answer, and it keeps the issue stage's repeated rescans of
+        long-waiting micro-ops from re-checking the whole producer list.
+        """
+        deps = self.depends_on
+        if not deps:
+            return True
+        keep = 0
+        for producer in deps:
             ready = producer.value_ready_cycle
             if ready is None or ready > cycle:
-                return False
+                deps[keep] = producer
+                keep += 1
+        if keep:
+            del deps[keep:]
+            return False
+        del deps[:]
         return True
 
     def mark_value_ready(self, cycle: int) -> None:

@@ -41,18 +41,43 @@ class RenameOptimizationConfig:
         return RenameOptimizationConfig(False, False, False, False)
 
 
+#: Dense per-kind counter index (classify runs per renamed micro-op, where
+#: enum hashing is measurable; a list increment is not).
+_KIND_INDEX: Dict[OptimizationKind, int] = {
+    kind: index for index, kind in enumerate(OptimizationKind)}
+
+
 class RenameOptimizer:
     """Classifies micro-ops for rename-stage elimination/folding."""
 
     def __init__(self, config: Optional[RenameOptimizationConfig] = None):
         self.config = config or RenameOptimizationConfig()
-        self.counts: Dict[OptimizationKind, int] = {kind: 0 for kind in OptimizationKind}
+        self._counts = [0] * len(OptimizationKind)
+        # The classification is a pure function of the *static* instruction
+        # (opclass, immediate, source list — all final after construction)
+        # and the fixed config, so it is memoised per static object.  Keying
+        # by identity rather than PC matters under SMT: co-scheduled traces
+        # have independent address spaces, so one PC can name two different
+        # static instructions.  The dict key is the static object itself
+        # (identity hash), which also keeps it alive so the entry can never
+        # be aliased by a recycled allocation.
+        self._by_static: Dict[object, tuple] = {}
+
+    @property
+    def counts(self) -> Dict[OptimizationKind, int]:
+        """Per-kind classification counts (reporting view)."""
+        return {kind: self._counts[index]
+                for kind, index in _KIND_INDEX.items()}
 
     def classify(self, dyn: DynamicInstruction) -> OptimizationKind:
         """Return the optimization applied to ``dyn`` (NONE if it must execute)."""
-        kind = self._classify(dyn)
-        self.counts[kind] += 1
-        return kind
+        entry = self._by_static.get(dyn.static)
+        if entry is None:
+            kind = self._classify(dyn)
+            entry = (kind, _KIND_INDEX[kind])
+            self._by_static[dyn.static] = entry
+        self._counts[entry[1]] += 1
+        return entry[0]
 
     def _classify(self, dyn: DynamicInstruction) -> OptimizationKind:
         cfg = self.config

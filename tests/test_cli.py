@@ -625,10 +625,17 @@ def test_bench_history_renders_trajectory_across_schemas(tmp_path):
 def test_bench_history_cli(tmp_path, capsys):
     new_dir = tmp_path / "bench_reports"
     new_dir.mkdir()
+    # An empty (or entirely missing) report directory is a normal fresh-clone
+    # state: the command says so on stdout and exits 0 so scripts can probe.
     empty = main(["bench", "history", "--dir", str(new_dir),
                   "--legacy-dir", str(tmp_path)])
     captured = capsys.readouterr()
-    assert empty == 1 and "no bench reports" in captured.err
+    assert empty == 0 and "no bench reports accumulated yet" in captured.out
+    assert captured.err == ""
+    missing = main(["bench", "history", "--dir", str(tmp_path / "nowhere"),
+                    "--legacy-dir", str(tmp_path / "nowhere-legacy")])
+    captured = capsys.readouterr()
+    assert missing == 0 and "no bench reports accumulated yet" in captured.out
     for stamp, wall in (("20260101T000000Z", 2.0), ("20260201T000000Z", 1.0)):
         (new_dir / f"BENCH_{stamp}.json").write_text(
             _history_report(3, wall), encoding="utf-8")
@@ -641,6 +648,18 @@ def test_bench_history_cli(tmp_path, capsys):
     entries = json.loads(capsys.readouterr().out)
     assert len(entries) == 2
     assert entries[1]["family_walls"]["speedup"] == 1.0
+
+
+def test_latest_bench_report_handles_missing_directories(tmp_path):
+    """A clone with no bench_reports/ at all (or one that was wiped) yields
+    None — the documented nothing-to-compare signal — rather than raising."""
+    from repro.experiments.bench import latest_bench_report, load_bench_history
+
+    nowhere = tmp_path / "does-not-exist"
+    assert latest_bench_report(nowhere,
+                               legacy_directory=tmp_path / "nor-this") is None
+    assert load_bench_history(nowhere,
+                              legacy_directory=tmp_path / "nor-this") == []
 
 
 def _gate_payload(quick: bool, wall: float, mad: float = 0.0) -> dict:
@@ -743,6 +762,112 @@ def test_perf_gate_accepts_committed_schema1_and_schema2_reports():
             for engine in family["totals"].values():
                 engine["wall_seconds"] *= 2.5
         assert perf_gate(slowed, reference).problems
+
+
+def test_perf_gate_min_noise_floor_protects_degenerate_references():
+    """Regression: references with no recorded spread used to get a +0 noise
+    margin.  Schema-1/2 reports never recorded ``wall_mad`` and a schema-3
+    report taken with ``--reps 1`` records MAD exactly 0.0; in both cases the
+    margin bar collapsed into the relative bar, so a *tight* threshold let
+    pure timer jitter flag a regression.  The ``min_noise_fraction`` floor
+    (5% of the reference median) must absorb sub-5% deltas no matter how the
+    reference was taken — verified against the actual committed legacy
+    reports, not just synthetic payloads."""
+    from repro.experiments.bench import perf_gate
+
+    # Synthetic zero-MAD reference at a deliberately tight threshold.
+    reference = _gate_payload(True, 1.0, mad=0.0)
+    jitter = perf_gate(_gate_payload(True, 1.04), reference, threshold=1.02)
+    assert jitter.ok, jitter.describe()
+    real = perf_gate(_gate_payload(True, 1.10), reference, threshold=1.02)
+    assert real.problems
+    # The floor is relative, so it scales with the reference wall.
+    big = _gate_payload(True, 100.0, mad=0.0)
+    assert perf_gate(_gate_payload(True, 104.0), big, threshold=1.02).ok
+    with pytest.raises(ValueError):
+        perf_gate(reference, reference, min_noise_fraction=-0.1)
+
+    # The committed legacy reports themselves: a 3% across-the-board drift
+    # must never flag, even at a tight threshold.
+    reports_dir = Path(__file__).resolve().parent.parent / "bench_reports"
+    for name in ("BENCH_20260728T122855Z.json", "BENCH_20260728T130454Z.json"):
+        reference = json.loads((reports_dir / name).read_text(encoding="utf-8"))
+        assert reference["schema"] in (1, 2), \
+            "these fixtures exist to pin the no-spread legacy schemas"
+        drifted = json.loads(json.dumps(reference))
+        for family in drifted["families"].values():
+            for engine in family["totals"].values():
+                engine["wall_seconds"] *= 1.03
+        result = perf_gate(drifted, reference, threshold=1.02)
+        assert result.ok, f"{name}: {result.describe()}"
+
+
+def _floor_payload(**overrides) -> dict:
+    payload = {
+        "engines": ["cycle", "event"],
+        "speedup_geomean": 1.7,
+        "families": {
+            "memory_bound": {"speedup": 3.5},
+            "speedup": {"speedup": 1.8},
+            "smt": {"speedup": 1.3},
+            "sensitivity": {"speedup": 1.15},
+        },
+    }
+    payload.update(overrides)
+    return payload
+
+
+def test_speedup_floor_gate_passes_healthy_payloads():
+    from repro.experiments.bench import speedup_floor_gate
+
+    result = speedup_floor_gate(_floor_payload())
+    assert result.ok, result.describe()
+    assert result.compared[-1] == "geomean"
+    assert set(result.compared) == {"memory_bound", "speedup", "smt",
+                                    "sensitivity", "geomean"}
+    # The actual committed schema-3 reference clears the CI floors too.
+    reports_dir = Path(__file__).resolve().parent.parent / "bench_reports"
+    committed = max(p for p in reports_dir.glob("BENCH_*.json"))
+    payload = json.loads(committed.read_text(encoding="utf-8"))
+    if payload.get("schema", 0) >= 3:
+        result = speedup_floor_gate(payload)
+        assert result.ok, f"{committed.name}: {result.describe()}"
+
+
+def test_speedup_floor_gate_flags_collapsed_wins():
+    from repro.experiments.bench import speedup_floor_gate
+
+    # One family falling below parity-ish trips the family floor.
+    slow_family = _floor_payload()
+    slow_family["families"]["sensitivity"]["speedup"] = 0.80
+    result = speedup_floor_gate(slow_family)
+    assert not result.ok
+    assert len(result.problems) == 1 and "sensitivity" in result.problems[0]
+    # A broad collapse trips the geomean floor even with every family >= the
+    # per-family bar.
+    broad = _floor_payload(speedup_geomean=1.05)
+    for family in broad["families"].values():
+        family["speedup"] = 1.05
+    result = speedup_floor_gate(broad)
+    assert result.problems and "geomean" in result.problems[-1]
+    with pytest.raises(ValueError):
+        speedup_floor_gate(_floor_payload(), geomean_floor=0.0)
+
+
+def test_speedup_floor_gate_is_vacuous_never_green_when_unmeasurable():
+    from repro.experiments.bench import speedup_floor_gate
+
+    # Event-only bench runs measure no speedup: vacuous with a reason.
+    single = speedup_floor_gate(_floor_payload(engines=["event"]))
+    assert single.vacuous and not single.ok
+    assert "cycle" in single.vacuous_reason
+    assert "VACUOUS" in single.describe()
+    # Both engines listed but no families / no recorded speedups.
+    empty = speedup_floor_gate(_floor_payload(families={}))
+    assert empty.vacuous and "no family reports" in empty.vacuous_reason
+    unmeasured = speedup_floor_gate(
+        _floor_payload(families={"speedup": {"totals": {}}}))
+    assert unmeasured.vacuous and "speedup" in unmeasured.vacuous_reason
 
 
 def test_orchestrator_bench_measures_and_verifies(tmp_path):

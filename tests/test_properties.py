@@ -6,6 +6,7 @@ import json
 import os
 import tempfile
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.load_inspector import GlobalStableReport, LoadSiteStats
@@ -281,3 +282,66 @@ def test_vm_trace_sequence_numbers_are_dense(budget, seed):
     trace = generate_trace(spec, num_instructions=budget)
     sequence = [d.seq for d in trace.instructions]
     assert sequence == list(range(len(sequence)))
+
+
+# ------------------------------------------------- bench statistics helpers
+
+_samples = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9,
+              allow_nan=False, allow_infinity=False, width=64),
+    min_size=1, max_size=40)
+
+
+@given(_samples)
+@settings(max_examples=100, deadline=None)
+def test_median_matches_statistics_module_and_is_bounded(values):
+    import statistics
+
+    from repro.analysis.stats_utils import median
+
+    result = median(values)
+    assert min(values) <= result <= max(values)
+    # The linear-interpolated 50th percentile is exactly the textbook median
+    # (middle element, or the midpoint of the two middle elements).
+    assert result == pytest.approx(statistics.median(values), abs=1e-6)
+    # Order independence: the helper sorts internally.
+    assert median(list(reversed(sorted(values)))) == result
+
+
+@given(_samples, st.floats(min_value=-1e6, max_value=1e6,
+                           allow_nan=False, allow_infinity=False))
+@settings(max_examples=100, deadline=None)
+def test_median_abs_deviation_invariances(values, shift):
+    from repro.analysis.stats_utils import median_abs_deviation
+
+    mad = median_abs_deviation(values)
+    assert mad >= 0.0
+    if len(values) < 2:
+        assert mad == 0.0, "spread of fewer than two samples is defined as 0"
+    assert median_abs_deviation([v for v in values for _ in (0, 1)]) \
+        == pytest.approx(mad, abs=1e-6), "duplicating every sample keeps MAD"
+    # Translation invariance: shifting every sample leaves the spread alone.
+    assert median_abs_deviation([v + shift for v in values]) \
+        == pytest.approx(mad, abs=max(1e-6, abs(shift) * 1e-9))
+    assert median_abs_deviation([values[0]] * len(values)) == 0.0
+
+
+@given(st.lists(st.floats(min_value=-1e9, max_value=1e9, allow_nan=False,
+                          allow_infinity=False, width=64),
+                min_size=1, max_size=40),
+       st.floats(min_value=0.0, max_value=1.0),
+       st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=100, deadline=None)
+def test_percentile_is_monotone_and_clamped(values, f1, f2):
+    from repro.analysis.stats_utils import _percentile
+
+    data = sorted(values)
+    low, high = sorted((f1, f2))
+    p_low, p_high = _percentile(data, low), _percentile(data, high)
+    # Monotone in the requested fraction, and always inside the data range
+    # (the clamp exists precisely because interpolation rounding can escape).
+    assert p_low <= p_high
+    assert data[0] <= p_low <= data[-1]
+    assert _percentile(data, 0.0) == data[0]
+    assert _percentile(data, 1.0) == data[-1]
+    assert _percentile([], 0.5) == 0.0
