@@ -1,0 +1,130 @@
+"""RL001 — the simulation core must be bit-deterministic.
+
+The parallel runner, the on-disk cache and the event/cycle engine
+differential all assume that simulating the same (config, workload, trace)
+twice — on any host, in any process — produces the same bits.  Wall-clock
+reads, OS entropy, the process-global ``random`` RNG and iteration over bare
+``set`` literals (whose order is hash-seed-dependent for strings) each break
+that silently.  This rule bans them statically in the simulation core
+packages; ``tests/test_parallel_determinism.py`` and
+``tests/test_event_driven.py`` are the runtime backstops that would otherwise
+catch the damage only after an expensive differential run.
+
+Seeded randomness is fine: ``random.Random(seed)`` instances are exactly how
+workload generation is *meant* to get deterministic variety.  Only the
+module-level functions (which share one unseeded global RNG) and a
+zero-argument ``random.Random()`` are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Tuple
+
+from repro.analysis.lint.engine import (
+    Finding,
+    LintContext,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: Packages (path prefixes) and single files forming the simulation core.
+SCOPE_PREFIXES = (
+    "src/repro/pipeline/",
+    "src/repro/frontend/",
+    "src/repro/backend/",
+    "src/repro/memory/",
+    "src/repro/rename/",
+    "src/repro/lvp/",
+    "src/repro/workloads/",
+)
+
+#: Individual files in scope beyond the package prefixes.
+SCOPE_FILES = ("src/repro/analysis/load_inspector.py",)
+
+#: Dotted call suffixes that read wall-clock time or OS entropy.
+BANNED_CALLS = {
+    "time.time": "reads wall-clock time",
+    "time.time_ns": "reads wall-clock time",
+    "time.monotonic": "reads a host clock",
+    "time.monotonic_ns": "reads a host clock",
+    "time.perf_counter": "reads a host clock",
+    "time.perf_counter_ns": "reads a host clock",
+    "datetime.now": "reads wall-clock time",
+    "datetime.utcnow": "reads wall-clock time",
+    "datetime.today": "reads wall-clock time",
+    "date.today": "reads wall-clock time",
+    "os.urandom": "reads OS entropy",
+    "uuid.uuid1": "depends on host and clock",
+    "uuid.uuid4": "reads OS entropy",
+}
+
+#: ``random.<fn>`` module-level functions backed by the shared global RNG.
+GLOBAL_RANDOM_FUNCS = frozenset({
+    "random", "randint", "randrange", "randbytes", "choice", "choices",
+    "shuffle", "sample", "uniform", "triangular", "betavariate", "expovariate",
+    "gammavariate", "gauss", "lognormvariate", "normalvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "getrandbits", "seed",
+})
+
+
+def _banned_call(node: ast.Call) -> Iterator[str]:
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return
+    for suffix, why in BANNED_CALLS.items():
+        if dotted == suffix or dotted.endswith("." + suffix):
+            yield f"call to {dotted} {why}; simulation outcomes must depend only on config+workload+trace"
+            return
+    if dotted == "random.SystemRandom" or dotted.endswith(".random.SystemRandom"):
+        yield "random.SystemRandom draws OS entropy; use a seeded random.Random"
+        return
+    if dotted == "random.Random" and not node.args:
+        yield ("random.Random() without a seed argument is nondeterministic; "
+               "derive the seed from the workload spec")
+        return
+    if dotted.startswith("random.") and dotted[len("random."):] in GLOBAL_RANDOM_FUNCS:
+        yield (f"module-level {dotted} uses the process-global unseeded RNG; "
+               f"thread a seeded random.Random instance through instead")
+
+
+def _set_iteration_sites(tree: ast.AST) -> Iterator[Tuple[int, str]]:
+    """``(line, what)`` for every loop/comprehension iterating a bare set."""
+    for node in ast.walk(tree):
+        iters = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iters.extend(generator.iter for generator in node.generators)
+        for candidate in iters:
+            if isinstance(candidate, ast.Set):
+                yield candidate.lineno, "a set literal"
+            elif isinstance(candidate, ast.SetComp):
+                yield candidate.lineno, "a set comprehension"
+
+
+@register
+class DeterminismRule(Rule):
+    """Ban nondeterministic APIs and set-order iteration in the core model."""
+
+    id = "RL001"
+    title = ("simulation core must not read clocks/entropy, use the global "
+             "RNG, or iterate bare sets")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        """Scan the core packages for banned calls and bare-set iteration."""
+        for source in ctx.files_under(*SCOPE_PREFIXES, *SCOPE_FILES):
+            if source.tree is None:
+                continue
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.Call):
+                    for message in _banned_call(node):
+                        yield Finding(self.id, source.rel, node.lineno, message)
+            for line, what in _set_iteration_sites(source.tree):
+                yield Finding(
+                    self.id, source.rel, line,
+                    f"iteration over {what}: set order is hash-dependent "
+                    f"(PYTHONHASHSEED) and differs across processes; sort it "
+                    f"or use a list/tuple")

@@ -1,0 +1,76 @@
+"""RL006 — no bare ``except:`` or broad silent swallows in the ops-facing layer.
+
+``experiments/`` and the CLI are where failures must surface: a bare
+``except:`` catches ``KeyboardInterrupt``/``SystemExit`` and turns an
+operator's Ctrl-C into a hang, and an ``except Exception: pass`` silently
+eats the very diagnostics a multi-host sweep needs.  Narrow, deliberate
+swallows (``except OSError: pass`` around best-effort ledger I/O) are
+idiomatic in this layer and stay legal; what this rule bans is the
+*unbounded* catch:
+
+* a handler with no exception type at all, and
+* a handler catching ``Exception``/``BaseException`` whose body is nothing
+  but ``pass``/``...``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.lint.engine import Finding, LintContext, Rule, register
+
+#: Where the rule applies: the experiment/ops layer and the CLI.
+SCOPE = ("src/repro/experiments/", "src/repro/cli.py")
+
+#: Exception names considered an unbounded catch.
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _catches_broad(handler: ast.ExceptHandler) -> bool:
+    names = []
+    if isinstance(handler.type, ast.Name):
+        names = [handler.type.id]
+    elif isinstance(handler.type, ast.Tuple):
+        names = [element.id for element in handler.type.elts
+                 if isinstance(element, ast.Name)]
+    return any(name in _BROAD for name in names)
+
+
+def _is_silent(handler: ast.ExceptHandler) -> bool:
+    return all(
+        isinstance(statement, ast.Pass)
+        or (isinstance(statement, ast.Expr)
+            and isinstance(statement.value, ast.Constant)
+            and statement.value.value is Ellipsis)
+        for statement in handler.body)
+
+
+@register
+class HygieneRule(Rule):
+    """Ban bare excepts and silent broad swallows in experiments/ and cli.py."""
+
+    id = "RL006"
+    title = ("experiments/ and cli.py must not use bare except or silently "
+             "swallow Exception/BaseException")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        """Audit every exception handler in the ops-facing modules."""
+        for source in ctx.files_under(*SCOPE):
+            if source.tree is None:
+                continue
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if node.type is None:
+                    yield Finding(
+                        self.id, source.rel, node.lineno,
+                        "bare except: catches KeyboardInterrupt/SystemExit "
+                        "too; name the exceptions this code can actually "
+                        "handle")
+                elif _catches_broad(node) and _is_silent(node):
+                    yield Finding(
+                        self.id, source.rel, node.lineno,
+                        "except Exception/BaseException with a pass-only "
+                        "body silently swallows every failure; narrow the "
+                        "type or handle/log the error")

@@ -109,9 +109,11 @@ class GlobalStableReport:
     # -------------------------------------------------------------- primitives
 
     def total_dynamic_loads(self) -> int:
+        """Total dynamic load count across all observed sites."""
         return sum(s.dynamic_count for s in self.sites.values())
 
     def global_stable_sites(self) -> List[LoadSiteStats]:
+        """Every load site classified as global-stable."""
         return [s for s in self.sites.values() if s.is_global_stable]
 
     def global_stable_pcs(self) -> Set[int]:
@@ -237,6 +239,7 @@ class LoadInspector:
         site.observe(dyn)
 
     def observe_all(self, instructions: Iterable[DynamicInstruction]) -> None:
+        """Feed every instruction of an iterable through :meth:`observe`."""
         for dyn in instructions:
             self.observe(dyn)
 

@@ -52,4 +52,5 @@ class MemoryDependencePredictor:
             self._conflicting.clear()
 
     def tracked_loads(self) -> int:
+        """Number of load PCs currently tracked as store-conflicting."""
         return len(self._conflicting)

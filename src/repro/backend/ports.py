@@ -39,6 +39,7 @@ class PortConfig:
     store_data: int = 2
 
     def count(self, kind: PortKind) -> int:
+        """Number of ports of ``kind`` in this configuration."""
         return {
             PortKind.ALU: self.alu,
             PortKind.LOAD: self.load,

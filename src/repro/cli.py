@@ -15,6 +15,13 @@ Subcommands:
 * ``repro figures <name ...|all>`` — regenerate paper figure harnesses from
   ``repro.experiments.figures``; warm from a swept cache this performs zero
   simulations and zero inspection passes (enforceable via ``--expect-warm``).
+* ``repro lint`` — AST-based invariant checker (``repro.analysis.lint``):
+  enforces the determinism, cache-key-purity, schema-manifest, env-registry,
+  engine-parity and exception-hygiene contracts statically, before a single
+  simulation runs.  ``--json`` for the CI artifact form, ``--rule RLxxx`` to
+  select rules, ``--refresh-manifest`` to regenerate the committed
+  ``schema_manifest.json`` after a deliberate schema bump.  Exits 1 on any
+  finding.
 * ``repro bench`` — wall-clock performance harness for the simulator core:
   measures every figure family with the per-cycle reference stepper and the
   event-driven cycle-skipping engine, verifies the two are bit-identical, and
@@ -67,6 +74,7 @@ from repro.experiments.figures import (
     default_runner,
     sweep_smt_configs,
 )
+from repro.analysis.lint import all_rules, refresh_manifest, run_lint
 from repro.experiments.orchestrator import (
     FIGURE_PLANS,
     FigurePlan,
@@ -389,6 +397,24 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the invariant checker; exit 0 clean, 1 on findings, 2 on usage."""
+    if args.refresh_manifest:
+        path = refresh_manifest(args.root)
+        print(f"wrote {path}")
+        return 0
+    try:
+        report = run_lint(args.root, rule_ids=args.rules)
+    except ValueError as error:  # unknown --rule name
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_bench_history(args: argparse.Namespace) -> int:
     entries = load_bench_history(directory=args.dir,
                                  legacy_directory=args.legacy_dir)
@@ -450,6 +476,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------- parser
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser with every subcommand."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Distributed sweep, figure and cache operations for the "
@@ -503,6 +530,21 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--expect-warm", action="store_true",
                          help="exit 2 if anything had to be simulated or inspected")
 
+    lint = commands.add_parser(
+        "lint", help="run the AST-based repo invariant checker "
+                     f"(rules: {', '.join(all_rules())})")
+    lint.add_argument("--json", action="store_true", help="machine-readable output")
+    lint.add_argument("--rule", action="append", dest="rules", default=None,
+                      metavar="RLxxx",
+                      help="run only this rule (repeatable; default: all)")
+    lint.add_argument("--root", default=".",
+                      help="repository root to scan (default: the working "
+                           "directory)")
+    lint.add_argument("--refresh-manifest", action="store_true",
+                      help="regenerate src/repro/analysis/lint/"
+                           "schema_manifest.json from the current tree "
+                           "(required after a deliberate schema bump)")
+
     bench = commands.add_parser(
         "bench", help="measure simulator wall-clock performance per figure "
                       "family and write a BENCH_<timestamp>.json report")
@@ -548,6 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: parse ``argv``, dispatch, return the exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "cache":
         return _cmd_cache(args)
@@ -559,6 +602,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
     if args.command == "figures":
         return _cmd_figures(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "bench":
         return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -35,6 +35,7 @@ class AddressMonitorTable:
     # ------------------------------------------------------------------ helpers
 
     def line_address(self, address: int) -> int:
+        """The cacheline-aligned base address containing ``address``."""
         return address - (address % self.config.cacheline_size)
 
     def _set_index(self, line_address: int) -> int:
@@ -94,9 +95,11 @@ class AddressMonitorTable:
         return list(entry.load_pcs) if entry is not None else []
 
     def tracked_lines(self) -> int:
+        """Number of cachelines currently tracked across all sets."""
         return sum(len(s) for s in self._sets)
 
     def tracked_pcs(self) -> int:
+        """Number of (line, load PC) associations currently tracked."""
         return sum(len(e.load_pcs) for s in self._sets for e in s)
 
     def clear(self) -> None:

@@ -70,14 +70,17 @@ class ConstableConfig:
 
     @property
     def confidence_max(self) -> int:
+        """Saturation value of the confidence counter."""
         return (1 << self.confidence_bits) - 1
 
     @property
     def sld_entries(self) -> int:
+        """Total SLD capacity in entries (sets times ways)."""
         return self.sld_sets * self.sld_ways
 
     @property
     def amt_entries(self) -> int:
+        """Total AMT capacity in entries (sets times ways)."""
         return self.amt_sets * self.amt_ways
 
     def mode_allowed(self, mode: AddressingMode) -> bool:

@@ -62,6 +62,7 @@ class ConstableStats:
         return self.loads_eliminated / self.loads_seen
 
     def as_dict(self) -> Dict[str, float]:
+        """All counters plus the derived elimination coverage, as a dict."""
         data = dict(self.__dict__)
         data["elimination_coverage"] = self.elimination_coverage()
         return data
@@ -203,4 +204,5 @@ class ConstableEngine:
     # -------------------------------------------------------------------- stats
 
     def coverage(self) -> float:
+        """Fraction of eligible loads eliminated (stats shortcut)."""
         return self.stats.elimination_coverage()

@@ -45,6 +45,7 @@ class IdealOracle:
         self.loads_seen = 0
 
     def is_stable(self, pc: int) -> bool:
+        """True when the oracle knows ``pc`` as a stable load."""
         return pc in self.stable_pcs
 
     def covers(self, pc: int) -> bool:
@@ -69,6 +70,7 @@ class IdealOracle:
             self._seen[pc] = (address, value)
 
     def coverage(self) -> float:
+        """Fraction of observed loads covered by the oracle."""
         if self.loads_seen == 0:
             return 0.0
         return self.loads_covered / self.loads_seen

@@ -76,4 +76,5 @@ class RegisterMonitorTable:
             entry.clear()
 
     def tracked_pcs(self) -> int:
+        """Number of (register, load PC) associations currently tracked."""
         return sum(len(entry) for entry in self._entries.values())

@@ -124,11 +124,14 @@ class StableLoadDetector:
     # -------------------------------------------------------------------- stats
 
     def tracked_loads(self) -> int:
+        """Number of load PCs currently tracked across all sets."""
         return sum(len(s) for s in self._sets)
 
     def eliminable_loads(self) -> int:
+        """Number of tracked loads currently eligible for elimination."""
         return sum(1 for s in self._sets for e in s if e.can_eliminate)
 
     def likely_stable_loads(self) -> int:
+        """Number of tracked loads at or above the confidence threshold."""
         threshold = self.config.confidence_threshold
         return sum(1 for s in self._sets for e in s if e.confidence >= threshold)

@@ -45,6 +45,7 @@ class ExtraRegisterFile:
         self.occupied = 0
 
     def failure_rate(self) -> float:
+        """Fraction of allocation attempts that failed (register file full)."""
         total = self.total_allocations + self.allocation_failures
         if total == 0:
             return 0.0

@@ -616,9 +616,9 @@ def latest_bench_report(directory: Union[str, Path] = BENCH_REPORTS_DIR,
         if legacy and legacy[-1].name > reports[-1].name:
             warnings.warn(
                 f"legacy-root bench report {legacy[-1]} is newer than every "
-                f"report in {Path(directory)}/ but is shadowed by the new "
-                f"location; move it into {BENCH_REPORTS_DIR}/ if it is meant "
-                f"to be the reference",
+                f"report in {Path(directory)}/ but is shadowed by "
+                f"{reports[-1]}; move it into {BENCH_REPORTS_DIR}/ if it is "
+                f"meant to be the reference",
                 UserWarning, stacklevel=2)
     elif legacy:
         warnings.warn(

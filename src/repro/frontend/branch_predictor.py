@@ -27,9 +27,11 @@ class BimodalPredictor:
         return (pc >> 2) % self.entries
 
     def predict(self, pc: int) -> bool:
+        """Taken when the 2-bit counter for ``pc`` is weakly/strongly taken."""
         return self._counters[self._index(pc)] >= 2
 
     def update(self, pc: int, taken: bool) -> None:
+        """Saturating 2-bit counter update with the resolved direction."""
         index = self._index(pc)
         counter = self._counters[index]
         if taken:
@@ -184,6 +186,7 @@ class TagePredictor:
         self._fold_cache.clear()
 
     def misprediction_rate(self) -> float:
+        """Fraction of predictions that were wrong."""
         if self.predictions == 0:
             return 0.0
         return self.mispredictions / self.predictions
@@ -230,6 +233,7 @@ class BranchPredictor:
         return mispredicted
 
     def misprediction_rate(self) -> float:
+        """Fraction of conditional predictions that were wrong."""
         if self.conditional_predictions == 0:
             return 0.0
         return self.conditional_mispredictions / self.conditional_predictions

@@ -111,6 +111,7 @@ class EvesPredictor(LoadValuePredictor):
     # -------------------------------------------------------------- prediction
 
     def predict(self, pc: int, branch_history: int = 0) -> ValuePrediction:
+        """VTAGE first, stride fallback: the EVES component hierarchy."""
         cfg = self.config
         vtage_entry = self._vtage_lookup(pc, branch_history)
         if vtage_entry is not None and vtage_entry.confidence >= cfg.vtage_confidence_threshold:
@@ -162,5 +163,6 @@ class EvesPredictor(LoadValuePredictor):
                 return
 
     def train(self, pc: int, actual_value: int, branch_history: int = 0) -> None:
+        """Train both components with the committed value."""
         self._train_stride(pc, actual_value)
         self._train_vtage(pc, actual_value, branch_history)

@@ -43,6 +43,7 @@ class LipastiPredictor(LoadValuePredictor):
         self._table: Dict[int, _LastValueEntry] = {}
 
     def predict(self, pc: int, branch_history: int = 0) -> ValuePrediction:
+        """Predict the last value once its confidence clears the threshold."""
         del branch_history
         entry = self._table.get(pc)
         if entry is not None and entry.confidence >= self.config.confidence_threshold:
@@ -50,6 +51,7 @@ class LipastiPredictor(LoadValuePredictor):
         return ValuePrediction(predicted=False)
 
     def train(self, pc: int, actual_value: int, branch_history: int = 0) -> None:
+        """Last-value update: bump confidence on a match, reset on a change."""
         del branch_history
         entry = self._table.get(pc)
         if entry is None:

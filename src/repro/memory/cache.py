@@ -33,6 +33,7 @@ class CacheConfig:
 
     @property
     def num_sets(self) -> int:
+        """Number of sets implied by size, ways and line size."""
         return self.size_bytes // (self.ways * self.line_size)
 
 
@@ -48,11 +49,13 @@ class CacheStats:
     invalidations: int = 0
 
     def hit_rate(self) -> float:
+        """Hits as a fraction of accesses (0.0 when idle)."""
         if self.accesses == 0:
             return 0.0
         return self.hits / self.accesses
 
     def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dictionary (stats-summary form)."""
         return {
             "accesses": self.accesses,
             "hits": self.hits,

@@ -89,7 +89,9 @@ class Directory:
         return False
 
     def is_pinned(self, address: int, core: int) -> bool:
+        """True when ``core`` has ``address``'s line pinned."""
         return core in self._entry(address).pinned
 
     def has_cv_bit(self, address: int, core: int) -> bool:
+        """True when ``core`` holds the CV bit for ``address``'s line."""
         return core in self._entry(address).cv_bits

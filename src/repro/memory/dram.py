@@ -61,6 +61,7 @@ class DramModel:
         return latency + cfg.bus_latency
 
     def accesses(self) -> int:
+        """Total DRAM accesses (row hits plus row misses)."""
         return self.row_hits + self.row_misses
 
     def note_inflight(self, completion_cycle: int) -> None:

@@ -181,6 +181,7 @@ class MemoryHierarchy:
         return self.l1d.stats.accesses
 
     def stats_summary(self) -> Dict[str, object]:
+        """Per-level cache/TLB/DRAM counters as one nested dictionary."""
         return {
             "l1d": self.l1d.stats.as_dict(),
             "l2": self.l2.stats.as_dict(),

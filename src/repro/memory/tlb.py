@@ -55,6 +55,7 @@ class Tlb:
         return self.config.miss_penalty
 
     def hit_rate(self) -> float:
+        """Hits as a fraction of accesses (0.0 when idle)."""
         if self.accesses == 0:
             return 0.0
         return self.hits / self.accesses

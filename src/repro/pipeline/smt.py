@@ -37,10 +37,12 @@ class SmtResult:
 
     @property
     def cycles(self) -> int:
+        """Cycles of the co-scheduled run."""
         return self.result.cycles
 
     @property
     def total_instructions(self) -> int:
+        """Instructions retired across both hardware threads."""
         return self.result.instructions
 
     def throughput(self) -> float:

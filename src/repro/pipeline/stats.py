@@ -65,6 +65,7 @@ class PipelineStats:
     value_predictions_correct: int = 0
 
     def ipc(self) -> float:
+        """Retired instructions per cycle (0.0 before any cycle)."""
         if self.cycles == 0:
             return 0.0
         return self.instructions_retired / self.cycles
@@ -80,6 +81,7 @@ class PipelineStats:
             self.sld_update_cycles_histogram.get(updates, 0) + cycles)
 
     def average_sld_updates_per_cycle(self) -> float:
+        """Mean SLD updates per cycle from the update histogram."""
         total_cycles = sum(self.sld_update_cycles_histogram.values())
         if total_cycles == 0:
             return 0.0
@@ -127,6 +129,7 @@ class SimulationResult:
 
     @property
     def ipc(self) -> float:
+        """Instructions per cycle (0.0 for an empty run)."""
         if self.cycles == 0:
             return 0.0
         return self.instructions / self.cycles
@@ -138,6 +141,7 @@ class SimulationResult:
         return baseline.cycles / self.cycles
 
     def summary(self) -> Dict[str, object]:
+        """The headline numbers of one run as a flat dictionary."""
         return {
             "trace": self.trace_name,
             "config": self.config_name,

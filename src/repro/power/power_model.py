@@ -58,9 +58,11 @@ class PowerBreakdown:
 
     @property
     def total(self) -> float:
+        """Sum of all unit powers."""
         return sum(self.units.values())
 
     def fraction(self, unit: str) -> float:
+        """One unit's share of the total power (0.0 when total is zero)."""
         total = self.total
         if total == 0:
             return 0.0
@@ -73,12 +75,14 @@ class PowerBreakdown:
         return self.total / baseline.total
 
     def sub_unit_relative_to(self, baseline: "PowerBreakdown", name: str) -> float:
+        """One sub-unit's power relative to the same sub-unit in ``baseline``."""
         base = baseline.sub_units.get(name, 0.0)
         if base == 0:
             return 0.0
         return self.sub_units.get(name, 0.0) / base
 
     def as_dict(self) -> Dict[str, object]:
+        """Units, sub-units and total as a plain dictionary."""
         return {"units": dict(self.units), "sub_units": dict(self.sub_units),
                 "total": self.total}
 

@@ -59,6 +59,7 @@ class EarlyLoadAddressResolver:
         return self.config.early_cycles
 
     def coverage(self) -> float:
+        """Fraction of loads whose address resolved early."""
         if self.total_loads == 0:
             return 0.0
         return self.resolved_loads / self.total_loads

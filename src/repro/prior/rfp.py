@@ -84,6 +84,7 @@ class RegisterFilePrefetcher:
         entry.last_address = actual_address
 
     def accuracy(self) -> float:
+        """Useful prefetches as a fraction of prefetches issued."""
         if self.prefetches_issued == 0:
             return 0.0
         return self.prefetches_useful / self.prefetches_issued

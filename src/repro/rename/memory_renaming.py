@@ -85,6 +85,7 @@ class MemoryRenamer:
             self.mispredictions += 1
 
     def accuracy(self) -> float:
+        """Correct forwarding predictions as a fraction of all predictions."""
         if self.predictions == 0:
             return 0.0
         return self.correct_predictions / self.predictions

@@ -38,6 +38,7 @@ class RenameOptimizationConfig:
     branch_folding: bool = True
 
     def all_disabled(self) -> "RenameOptimizationConfig":
+        """A copy of the config with every rename optimization turned off."""
         return RenameOptimizationConfig(False, False, False, False)
 
 

@@ -95,21 +95,25 @@ class KernelContext:
         return address
 
     def alloc_heap(self, words: int) -> int:
+        """Reserve ``words`` 64-bit words in the heap region."""
         address = self._heap_next
         self._heap_next += words * _WORD
         return address
 
     def alloc_readonly(self, words: int) -> int:
+        """Reserve ``words`` 64-bit words in the read-only data region."""
         address = self._readonly_next
         self._readonly_next += words * _WORD
         return address
 
     def alloc_stream(self, words: int) -> int:
+        """Reserve ``words`` 64-bit words in the streaming-buffer region."""
         address = self._stream_next
         self._stream_next += words * _WORD
         return address
 
     def alloc_shared(self, words: int) -> int:
+        """Reserve ``words`` 64-bit words in the shared (cross-thread) region."""
         address = self._shared_next
         self._shared_next += words * _WORD
         return address
@@ -145,6 +149,7 @@ class RuntimeConstantKernel(Kernel):
     name = "runtime_constant"
 
     def setup(self, b: ProgramBuilder) -> None:
+        """Initialise the runtime-constant pointer slot once."""
         ctx = self.ctx
         self.global_ptr_addr = ctx.alloc_globals(1)
         self.object_addr = ctx.alloc_heap(8)
@@ -154,6 +159,7 @@ class RuntimeConstantKernel(Kernel):
         b.store_global(scratch, self.global_ptr_addr)
 
     def body(self, b: ProgramBuilder) -> None:
+        """Emit the PC-relative stable load and a short use of its value."""
         ctx = self.ctx
         ptr, tmp = ctx.scratch[0], ctx.scratch[1]
         skip = b.label(f"{self.name}_skip_{self.global_ptr_addr:x}")
@@ -181,6 +187,7 @@ class InlinedArgsKernel(Kernel):
     name = "inlined_args"
 
     def setup(self, b: ProgramBuilder) -> None:
+        """Spill the never-changing arguments (to stack or registers)."""
         ctx = self.ctx
         self.inner_iterations = int(self.params.get("inner_iterations", 12))
         self.args_in_registers = bool(self.params.get("args_in_registers", False))
@@ -210,6 +217,7 @@ class InlinedArgsKernel(Kernel):
             b.movi(self.out_reg, self.out_base)
 
     def body(self, b: ProgramBuilder) -> None:
+        """Reload the arguments each iteration and consume them."""
         ctx = self.ctx
         counter, a0, a1, acc = ctx.scratch[0], ctx.scratch[1], ctx.scratch[2], ctx.scratch[3]
         idx = ctx.scratch[4]
@@ -247,6 +255,7 @@ class TightLoopReadOnlyKernel(Kernel):
     name = "tight_loop_readonly"
 
     def setup(self, b: ProgramBuilder) -> None:
+        """Fill the read-only table and pin its base register."""
         ctx = self.ctx
         self.inner_iterations = int(self.params.get("inner_iterations", 16))
         self.table_words = int(self.params.get("table_words", 64))
@@ -258,6 +267,7 @@ class TightLoopReadOnlyKernel(Kernel):
         b.movi(self.base_reg, self.table_base)
 
     def body(self, b: ProgramBuilder) -> None:
+        """Emit register-relative loads off the pinned base."""
         ctx = self.ctx
         counter, idx, v0, v1 = ctx.scratch[0], ctx.scratch[4], ctx.scratch[1], ctx.scratch[2]
         top = b.label(f"{self.name}_top_{self.table_base & 0xffff:x}")
@@ -281,6 +291,7 @@ class GlobalCounterKernel(Kernel):
     name = "global_counters"
 
     def setup(self, b: ProgramBuilder) -> None:
+        """Initialise the counter globals."""
         ctx = self.ctx
         self.num_globals = int(self.params.get("num_globals", 4))
         self.store_period = int(self.params.get("store_period", 0))
@@ -296,6 +307,7 @@ class GlobalCounterKernel(Kernel):
                 b.movi(self.phase_reg, self.store_period)
 
     def body(self, b: ProgramBuilder) -> None:
+        """Load, update and store the globals with long reuse distance."""
         ctx = self.ctx
         acc, tmp = ctx.scratch[1], ctx.scratch[2]
         b.movi(acc, 0)
@@ -320,6 +332,7 @@ class StreamingKernel(Kernel):
     name = "streaming"
 
     def setup(self, b: ProgramBuilder) -> None:
+        """Initialise the streaming buffer cursor."""
         ctx = self.ctx
         self.inner_iterations = int(self.params.get("inner_iterations", 16))
         self.region_words = int(self.params.get("region_words", 1 << 16))
@@ -331,6 +344,7 @@ class StreamingKernel(Kernel):
         b.movi(self.cursor_reg, 0)
 
     def body(self, b: ProgramBuilder) -> None:
+        """Advance through the buffer with fresh loads and stores."""
         ctx = self.ctx
         counter, v0, v1, cur = ctx.scratch[0], ctx.scratch[1], ctx.scratch[2], ctx.scratch[3]
         top = b.label(f"{self.name}_top_{self.in_base & 0xffff:x}")
@@ -353,6 +367,7 @@ class PointerChaseKernel(Kernel):
     name = "pointer_chase"
 
     def setup(self, b: ProgramBuilder) -> None:
+        """Build the linked ring in the heap region."""
         ctx = self.ctx
         self.ring_nodes = int(self.params.get("ring_nodes", 256))
         self.inner_iterations = int(self.params.get("inner_iterations", 8))
@@ -374,6 +389,7 @@ class PointerChaseKernel(Kernel):
         b.movi(self.offset_reg, 0)
 
     def body(self, b: ProgramBuilder) -> None:
+        """Walk the ring with serially dependent loads."""
         ctx = self.ctx
         counter, cursor, base = ctx.scratch[0], ctx.scratch[5], ctx.scratch[1]
         top = b.label(f"{self.name}_top_{self.ring_base & 0xffff:x}")
@@ -398,6 +414,7 @@ class RandomAccessKernel(Kernel):
     name = "random_access"
 
     def setup(self, b: ProgramBuilder) -> None:
+        """Seed the LCG state and reserve the target region."""
         ctx = self.ctx
         self.inner_iterations = int(self.params.get("inner_iterations", 8))
         #: Footprint of the randomly accessed region, in bytes.
@@ -414,6 +431,7 @@ class RandomAccessKernel(Kernel):
         b.movi(self.seed_reg, self.rng.randrange(1, 1 << 40))
 
     def body(self, b: ProgramBuilder) -> None:
+        """Emit LCG-indexed loads scattered over the region."""
         ctx = self.ctx
         counter, table, idx, val = (ctx.scratch[0], ctx.scratch[1],
                                     ctx.scratch[2], ctx.scratch[3])
@@ -439,6 +457,7 @@ class StoreHeavyKernel(Kernel):
     name = "store_heavy"
 
     def setup(self, b: ProgramBuilder) -> None:
+        """Reserve the victim globals and store buffers."""
         ctx = self.ctx
         self.inner_iterations = int(self.params.get("inner_iterations", 8))
         self.silent_stores = bool(self.params.get("silent_stores", False))
@@ -450,6 +469,7 @@ class StoreHeavyKernel(Kernel):
         b.store_global(scratch, self.victim_global)
 
     def body(self, b: ProgramBuilder) -> None:
+        """Emit the store traffic (optionally silent) at the victim globals."""
         ctx = self.ctx
         counter, val, idx, vict = (ctx.scratch[0], ctx.scratch[1],
                                    ctx.scratch[2], ctx.scratch[3])
@@ -479,6 +499,7 @@ class BranchyKernel(Kernel):
     name = "branchy"
 
     def setup(self, b: ProgramBuilder) -> None:
+        """Initialise branch-feeding data and the stable stack slots."""
         ctx = self.ctx
         self.inner_iterations = int(self.params.get("inner_iterations", 12))
         self.arg_slot = ctx.alloc_stack_slot()
@@ -491,6 +512,7 @@ class BranchyKernel(Kernel):
         b.movi(self.seed_reg, self.rng.randrange(1, 1 << 40))
 
     def body(self, b: ProgramBuilder) -> None:
+        """Emit data-dependent branches plus the stable stack reloads."""
         ctx = self.ctx
         counter, seed, bit, arg, acc = (ctx.scratch[0], ctx.scratch[1], ctx.scratch[2],
                                         ctx.scratch[3], ctx.scratch[4])
@@ -520,6 +542,7 @@ class SharedDataKernel(Kernel):
     name = "shared_data"
 
     def setup(self, b: ProgramBuilder) -> None:
+        """Reserve the cross-thread shared region."""
         ctx = self.ctx
         self.num_shared = int(self.params.get("num_shared", 4))
         self.addresses = [ctx.alloc_shared(1) for _ in range(self.num_shared)]
@@ -530,6 +553,7 @@ class SharedDataKernel(Kernel):
             b.store_global(scratch, address)
 
     def body(self, b: ProgramBuilder) -> None:
+        """Load from the shared region the external writer mutates."""
         ctx = self.ctx
         acc, tmp = ctx.scratch[1], ctx.scratch[2]
         b.movi(acc, 0)
@@ -544,11 +568,13 @@ class StackChurnKernel(Kernel):
     name = "stack_churn"
 
     def setup(self, b: ProgramBuilder) -> None:
+        """Reserve the churned stack slots."""
         ctx = self.ctx
         self.inner_iterations = int(self.params.get("inner_iterations", 6))
         self.slots = [ctx.alloc_stack_slot() for _ in range(2)]
 
     def body(self, b: ProgramBuilder) -> None:
+        """Emit call-like stack writes followed by reloads."""
         ctx = self.ctx
         counter, a, c0, c1 = ctx.scratch[0], ctx.scratch[1], ctx.scratch[2], ctx.scratch[3]
         top = b.label(f"{self.name}_top_{self.slots[0] & 0xffff:x}")
@@ -582,6 +608,7 @@ class ChainedDerefKernel(Kernel):
     name = "chained_deref"
 
     def setup(self, b: ProgramBuilder) -> None:
+        """Build the pointer chain rooted at a runtime constant."""
         ctx = self.ctx
         self.inner_iterations = int(self.params.get("inner_iterations", 10))
         self.depth = max(2, int(self.params.get("depth", 3)))
@@ -601,6 +628,7 @@ class ChainedDerefKernel(Kernel):
         b.store(scratch, base=RBP, disp=self.bound_slot)
 
     def body(self, b: ProgramBuilder) -> None:
+        """Dereference the chain serially from the stable root."""
         ctx = self.ctx
         counter, ptr, val, mask = (ctx.scratch[0], ctx.scratch[1],
                                    ctx.scratch[2], ctx.scratch[3])
@@ -628,6 +656,7 @@ class MatrixKernel(Kernel):
     name = "matrix"
 
     def setup(self, b: ProgramBuilder) -> None:
+        """Initialise the array region and the bound/argument slots."""
         ctx = self.ctx
         self.inner_iterations = int(self.params.get("inner_iterations", 16))
         self.rows = int(self.params.get("rows", 64))
@@ -642,6 +671,7 @@ class MatrixKernel(Kernel):
         b.movi(self.base_reg, self.matrix_base)
 
     def body(self, b: ProgramBuilder) -> None:
+        """Emit the strided traversal with its stable bound reloads."""
         ctx = self.ctx
         counter, bound, idx, v0, acc = (ctx.scratch[0], ctx.scratch[1], ctx.scratch[2],
                                         ctx.scratch[3], ctx.scratch[4])

@@ -1,0 +1,27 @@
+"""Seeded-bad fixture for RL001: every banned determinism hazard, marked."""
+
+import random
+import time
+
+
+def jittered_latency(base: int) -> float:
+    return base + time.time()  # expect[RL001]
+
+
+def random_stride() -> int:
+    return random.randint(1, 64)  # expect[RL001]
+
+
+def unseeded_generator():
+    return random.Random()  # expect[RL001]
+
+
+def visit_ports():
+    total = 0
+    for port in {"p0", "p1", "p5"}:  # expect[RL001]
+        total += len(port)
+    return total
+
+
+def visit_lines(lines):
+    return [line for line in {line * 64 for line in lines}]  # expect[RL001]

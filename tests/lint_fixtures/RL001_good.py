@@ -1,0 +1,24 @@
+"""Good twin for RL001: deterministic idioms the rule must not flag."""
+
+import random
+
+
+def seeded_stride(seed: int) -> int:
+    rng = random.Random(seed)
+    return rng.randint(1, 64)
+
+
+def derived_rng(spec_seed: int) -> random.Random:
+    return random.Random(spec_seed ^ 0xBEEF)
+
+
+def visit_ports() -> int:
+    total = 0
+    for port in sorted({"p0", "p1", "p5"}):
+        total += len(port)
+    return total
+
+
+def visit_lines(lines):
+    unique = sorted({line * 64 for line in lines})
+    return [line for line in unique]

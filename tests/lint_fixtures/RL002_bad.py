@@ -1,0 +1,26 @@
+"""Seeded-bad fixture for RL002: impure cache-key material, marked.
+
+Covers the direct case (a key function reading the environment), the
+depth-one callgraph case (a non-seed helper the key function calls), and the
+engine-leak case (an ``engine``-named attribute inside fingerprint code).
+"""
+
+import hashlib
+import json
+import os
+
+
+def _salt_blob(payload: dict) -> str:
+    return os.getenv("HOSTNAME", "") + json.dumps(payload)  # expect[RL002]
+
+
+class ResultCache:
+    def key_for(self, config, spec, instructions: int) -> str:
+        if os.environ.get("FAST_KEYS"):  # expect[RL002]
+            instructions = 0
+        blob = _salt_blob({"spec": spec, "instructions": instructions})
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config) -> dict:
+    return {"engine": config.engine, "width": config.width}  # expect[RL002]

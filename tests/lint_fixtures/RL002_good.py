@@ -1,0 +1,29 @@
+"""Good twin for RL002: pure cache-key material the rule must not flag."""
+
+import hashlib
+import json
+import os
+
+
+def _blob(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+class ResultCache:
+    def key_for(self, config, spec, instructions: int) -> str:
+        blob = _blob({
+            "config": config.to_dict(),
+            "spec": spec.name,
+            "instructions": instructions,
+        })
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config) -> dict:
+    return {"width": config.width, "rob": config.rob_size}
+
+
+def cache_dir() -> str:
+    # Environment reads are fine OUTSIDE key functions: where the cache
+    # lives on disk is allowed to vary per host, what it is keyed by is not.
+    return os.environ.get("XDG_CACHE_HOME", "/tmp")

@@ -1,0 +1,19 @@
+"""Seeded-bad fixture for RL003: to_dict key drift without a schema bump.
+
+Relative to the good twin, ``retired`` was renamed to ``committed`` — a
+shape change that would make old cache entries decode wrongly — while the
+schema versions stayed put.
+"""
+
+
+class StageCounters:  # expect[RL003]
+    def __init__(self) -> None:
+        self.fetched = 0
+        self.committed = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "fetched": self.fetched,
+            "committed": self.committed,
+            "schema": "stage-counters",
+        }

@@ -1,0 +1,18 @@
+"""Good twin for RL003: a serialized type matching the committed manifest.
+
+The test materializes this file, refreshes the manifest from it, and then
+swaps in the bad twin — which renames a key without a schema bump.
+"""
+
+
+class StageCounters:
+    def __init__(self) -> None:
+        self.fetched = 0
+        self.retired = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "fetched": self.fetched,
+            "retired": self.retired,
+            "schema": "stage-counters",
+        }

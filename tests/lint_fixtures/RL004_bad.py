@@ -1,0 +1,14 @@
+"""Seeded-bad fixture for RL004: an undocumented REPRO_* knob read, marked.
+
+The test tree's ``docs/ENVIRONMENT.md`` documents only ``REPRO_FIXTURE_KNOB``.
+"""
+
+import os
+
+
+def documented_knob() -> str:
+    return os.environ.get("REPRO_FIXTURE_KNOB", "off")
+
+
+def undocumented_knob() -> str:
+    return os.environ.get("REPRO_UNDOCUMENTED_KNOB", "off")  # expect[RL004]

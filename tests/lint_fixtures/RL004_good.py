@@ -1,0 +1,7 @@
+"""Good twin for RL004: every REPRO_* read has a registry row in the test tree."""
+
+import os
+
+
+def documented_knob() -> str:
+    return os.environ.get("REPRO_FIXTURE_KNOB", "off")

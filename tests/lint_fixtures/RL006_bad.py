@@ -1,0 +1,23 @@
+"""Seeded-bad fixture for RL006: silent exception swallows, marked."""
+
+
+def load_report(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    except:  # noqa: E722  # expect[RL006]
+        pass
+
+
+def probe(cache):
+    try:
+        return cache.stats()
+    except Exception:  # expect[RL006]
+        pass
+
+
+def poke(cache):
+    try:
+        cache.evict()
+    except (OSError, Exception):  # expect[RL006]
+        ...

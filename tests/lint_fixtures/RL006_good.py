@@ -1,0 +1,30 @@
+"""Good twin for RL006: narrow or handled exception idioms the rule allows."""
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def load_report(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    except OSError:
+        # Narrow, deliberate best-effort swallow: legal.
+        return None
+
+
+def probe(cache):
+    try:
+        return cache.stats()
+    except Exception:
+        # Broad catch is fine when the failure is surfaced, not eaten.
+        log.exception("cache stats probe failed")
+        raise
+
+
+def poke(cache):
+    try:
+        cache.evict()
+    except (OSError, ValueError):
+        pass

@@ -551,8 +551,13 @@ def test_latest_bench_report_warns_when_newer_legacy_report_is_shadowed(tmp_path
     committed.write_text('{"schema": 3}', encoding="utf-8")
     stray = tmp_path / "BENCH_20270101T000000Z.json"
     stray.write_text('{"schema": 3, "fresh": true}', encoding="utf-8")
-    with pytest.warns(UserWarning, match="shadowed"):
+    with pytest.warns(UserWarning, match="shadowed") as caught:
         path, payload = latest_bench_report(new_dir, legacy_directory=tmp_path)
+    # The warning must name BOTH sides of the shadowing: the stray legacy
+    # report and the committed report that wins, so the operator can compare
+    # them without re-deriving the discovery order.
+    message = str(caught[0].message)
+    assert str(stray) in message and str(committed) in message
     assert path == committed, "the new location still wins"
     assert "fresh" not in payload
     # An *older* legacy report shadows nothing: no warning.

@@ -1,11 +1,12 @@
-"""Docstring-coverage gate over the public ``repro.experiments`` API.
+"""Docstring-coverage gate over the entire public ``repro`` API.
 
 CI enforces the same contract with ruff's D1xx rules (see ``ruff.toml``); this
 in-process mirror keeps the tier-1 suite authoritative in environments where
 ruff is not installed, so coverage cannot regress silently either way.
 
 The contract: every public module, class, function and method defined inside
-``repro.experiments`` carries a non-empty docstring.  Private names
+``repro`` (all subpackages — the gate originally covered only
+``repro.experiments``) carries a non-empty docstring.  Private names
 (``_leading_underscore``), dunders and members inherited from elsewhere are
 exempt, matching the ruff configuration (D105/D107 ignored).
 """
@@ -17,15 +18,14 @@ import inspect
 import pkgutil
 from typing import Iterator, List, Tuple
 
-import repro.experiments
+import repro
 
-PACKAGE = "repro.experiments"
+PACKAGE = "repro"
 
 
-def _experiment_modules() -> List[object]:
-    modules = [repro.experiments]
-    for info in pkgutil.iter_modules(repro.experiments.__path__,
-                                     prefix=PACKAGE + "."):
+def _package_modules() -> List[object]:
+    modules = [repro]
+    for info in pkgutil.walk_packages(repro.__path__, prefix=PACKAGE + "."):
         modules.append(importlib.import_module(info.name))
     return modules
 
@@ -65,10 +65,10 @@ def _undocumented_members(module_name: str, cls) -> Iterator[Tuple[str, str]]:
         yield f"{module_name}.{cls.__name__}.{name}", "method"
 
 
-def test_public_experiments_api_is_fully_documented():
+def test_public_api_is_fully_documented():
     """Mirror of the CI ruff D1xx gate: no public member may lack a docstring."""
-    missing = [item for module in _experiment_modules()
+    missing = [item for module in _package_modules()
                for item in _undocumented_in(module)]
     assert not missing, (
-        "undocumented public experiments API members (add docstrings; "
+        "undocumented public API members (add docstrings; "
         f"CI enforces this via ruff D rules): {sorted(missing)}")

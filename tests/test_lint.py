@@ -1,0 +1,351 @@
+"""In-process mirror of ``repro lint`` plus per-rule fixture proofs.
+
+Three layers, mirroring the ``tests/test_docstrings.py`` pattern so the
+tier-1 suite enforces a lint-clean tree without any external tooling:
+
+* **The mirror** — :func:`test_repository_tree_is_lint_clean` runs every
+  registered rule over the real repository, exactly what CI's
+  ``repro lint --json`` job does.
+* **Liveness proofs** — for each rule a seeded-bad fixture from
+  ``tests/lint_fixtures/`` is materialized into a repo-shaped ``tmp_path``
+  tree at the path the rule guards; its ``# expect[RLxxx]`` markers must
+  reproduce as findings *exactly* (rule id, file, line), and the good twin
+  must come back clean.  A rule that silently stopped matching would fail
+  here, not in review.
+* **Framework contracts** — the ignore-comment allowlist suppresses, typoed
+  rule names in an ignore comment are an error (never silence), malformed
+  directives and syntax errors report loudly, and the schema-manifest gate
+  demonstrably fires against an in-memory mutated manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    MANIFEST_REL,
+    META_RULE_ID,
+    all_rules,
+    compare_manifest,
+    extract_manifest,
+    load_context,
+    load_manifest,
+    refresh_manifest,
+    run_lint,
+)
+from repro.cli import main
+from repro.experiments.cache import ResultCache
+from repro.experiments.configs import baseline_config
+from repro.workloads.suites import all_workload_specs
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+#: Where each rule's fixture lands inside the synthetic tree: a path the
+#: rule actually guards, so the fixture exercises the real scope logic.
+PLACEMENT = {
+    "RL001": "src/repro/pipeline/generated.py",
+    "RL002": "src/repro/experiments/cache.py",
+    "RL003": "src/repro/pipeline/stats.py",
+    "RL004": "src/repro/experiments/knobs.py",
+    "RL005": "src/repro/pipeline/cpu.py",
+    "RL006": "src/repro/experiments/runner.py",
+}
+
+_EXPECT_RE = re.compile(r"#\s*expect\[(RL\d{3})\]")
+
+#: The synthetic tree's env-var registry: documents exactly the knob the
+#: RL004 good twin reads, so the bad twin's extra read is the only diff.
+_ENV_DOC = """# Environment variables
+
+| Variable | Consumer |
+| --- | --- |
+| `REPRO_FIXTURE_KNOB` | tests/lint_fixtures |
+"""
+
+#: Version-source stubs for the synthetic RL003 tree (same constants the
+#: real modules define, so the manifest records 1/3 like the committed one).
+_CACHE_STUB = '"""Stub version source."""\n\nSCHEMA_VERSION = 1\n'
+_BENCH_STUB = '"""Stub version source."""\n\nBENCH_SCHEMA_VERSION = 3\n'
+
+
+def _write(root: Path, rel: str, text: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def _expected_findings(rule_id: str):
+    """``(rule, path, line)`` triples from the bad fixture's markers."""
+    text = (FIXTURES / f"{rule_id}_bad.py").read_text(encoding="utf-8")
+    rel = PLACEMENT[rule_id]
+    triples = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _EXPECT_RE.finditer(line):
+            triples.append((match.group(1), rel, lineno))
+    assert triples, f"fixture {rule_id}_bad.py carries no expect markers"
+    return sorted(triples)
+
+
+def _materialize(root: Path, rule_id: str, variant: str) -> Path:
+    """Build a minimal repo-shaped tree around one fixture file."""
+    rel = PLACEMENT[rule_id]
+    if rule_id == "RL004":
+        _write(root, "docs/ENVIRONMENT.md", _ENV_DOC)
+    if rule_id == "RL003":
+        # The manifest is generated from the good twin (plus version stubs),
+        # then the requested variant is swapped in; the bad twin therefore
+        # drifts from a manifest recording unchanged schema versions.
+        _write(root, "src/repro/experiments/cache.py", _CACHE_STUB)
+        _write(root, "src/repro/experiments/bench.py", _BENCH_STUB)
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(FIXTURES / f"{rule_id}_good.py", target)
+        refresh_manifest(root)
+    target = root / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copyfile(FIXTURES / f"{rule_id}_{variant}.py", target)
+    return root
+
+
+# --------------------------------------------------------------- the mirror
+
+
+def test_repository_tree_is_lint_clean():
+    """The in-process twin of CI's ``repro lint`` gate."""
+    report = run_lint(REPO_ROOT)
+    assert report.ok, "repro lint found violations:\n" + report.render()
+    assert report.files_scanned >= 50, \
+        f"suspiciously small scan ({report.files_scanned} files); did " \
+        f"SCAN_ROOTS rot?"
+    assert report.rules == sorted(all_rules())
+
+
+def test_committed_manifest_matches_tree():
+    """``schema_manifest.json`` is in sync and byte-stable under refresh."""
+    committed = (REPO_ROOT / MANIFEST_REL).read_text(encoding="utf-8")
+    regenerated = json.dumps(extract_manifest(load_context(REPO_ROOT)),
+                             indent=2, sort_keys=True) + "\n"
+    assert committed == regenerated, \
+        "schema manifest out of sync; run `repro lint --refresh-manifest`"
+
+
+# ------------------------------------------------------- per-rule liveness
+
+
+@pytest.mark.parametrize("rule_id", sorted(PLACEMENT))
+def test_bad_fixture_yields_exactly_the_expected_findings(tmp_path, rule_id):
+    """Each seeded-bad snippet reproduces its markers: rule id, file, line."""
+    _materialize(tmp_path, rule_id, "bad")
+    report = run_lint(tmp_path, rule_ids=[rule_id])
+    got = sorted((f.rule, f.path, f.line) for f in report.findings)
+    assert got == _expected_findings(rule_id), "\n" + report.render()
+
+
+@pytest.mark.parametrize("rule_id", sorted(PLACEMENT))
+def test_good_fixture_is_clean(tmp_path, rule_id):
+    """Each good twin passes the same rule untouched."""
+    _materialize(tmp_path, rule_id, "good")
+    report = run_lint(tmp_path, rule_ids=[rule_id])
+    assert report.ok, "\n" + report.render()
+
+
+# ------------------------------------------------- allowlist + meta checks
+
+
+def test_ignore_comment_suppresses_a_known_rule(tmp_path):
+    _write(tmp_path, "src/repro/pipeline/suppressed.py",
+           "import time\n\n\ndef now():\n"
+           "    return time.time()  # repro-lint: ignore[RL001]\n")
+    report = run_lint(tmp_path, rule_ids=["RL001"])
+    assert report.ok, "\n" + report.render()
+
+
+def test_unknown_rule_in_ignore_comment_is_an_error_not_silence(tmp_path):
+    """Satellite 4: a typoed allowlist must fail loudly AND not suppress."""
+    _write(tmp_path, "src/repro/pipeline/typoed.py",
+           "import time\n\n\ndef now():\n"
+           "    return time.time()  # repro-lint: ignore[RL999]\n")
+    report = run_lint(tmp_path, rule_ids=["RL001"])
+    triples = sorted((f.rule, f.line) for f in report.findings)
+    assert triples == [(META_RULE_ID, 5), ("RL001", 5)], "\n" + report.render()
+    meta = next(f for f in report.findings if f.rule == META_RULE_ID)
+    assert "unknown rule 'RL999'" in meta.message
+
+
+def test_meta_checks_run_regardless_of_rule_selection(tmp_path):
+    _write(tmp_path, "src/repro/pipeline/typoed.py",
+           "VALUE = 1  # repro-lint: ignore[RL999]\n")
+    report = run_lint(tmp_path, rule_ids=["RL006"])
+    assert [f.rule for f in report.findings] == [META_RULE_ID]
+
+
+def test_meta_findings_are_not_suppressible(tmp_path):
+    """An ignore comment cannot vouch for its own spelling."""
+    _write(tmp_path, "src/repro/pipeline/selfref.py",
+           "VALUE = 1  # repro-lint: ignore[RL000, RL999]\n")
+    report = run_lint(tmp_path, rule_ids=["RL006"])
+    assert [f.rule for f in report.findings] == [META_RULE_ID]
+    assert "RL999" in report.findings[0].message
+
+
+def test_malformed_directive_and_empty_ignore_list_error(tmp_path):
+    _write(tmp_path, "src/repro/pipeline/directives.py",
+           "A = 1  # repro-lint: disable-everything\n"
+           "B = 2  # repro-lint: ignore[]\n")
+    report = run_lint(tmp_path, rule_ids=["RL006"])
+    messages = {f.line: f.message for f in report.findings}
+    assert all(f.rule == META_RULE_ID for f in report.findings)
+    assert "malformed" in messages[1]
+    assert "empty ignore list" in messages[2]
+
+
+def test_syntax_error_in_scanned_file_fails_loudly(tmp_path):
+    _write(tmp_path, "src/repro/pipeline/broken.py", "def broken(:\n")
+    report = run_lint(tmp_path, rule_ids=["RL006"])
+    assert [(f.rule, f.path, f.line) for f in report.findings] == \
+        [(META_RULE_ID, "src/repro/pipeline/broken.py", 1)]
+    assert "does not parse" in report.findings[0].message
+
+
+def test_run_lint_rejects_unknown_rule_selection(tmp_path):
+    with pytest.raises(ValueError, match="RL999"):
+        run_lint(tmp_path, rule_ids=["RL999"])
+
+
+# ------------------------------------------------------- RL003 gate depth
+
+
+def test_schema_gate_fires_on_in_memory_key_mutation():
+    """Acceptance criterion: mutate a to_dict key set, the gate reports drift."""
+    ctx = load_context(REPO_ROOT)
+    current = extract_manifest(ctx)
+    committed = json.loads(json.dumps(load_manifest(REPO_ROOT)))
+    assert committed == current  # precondition: tree is in sync
+    class_key, keys = next(
+        (name, keys) for name, keys in committed["to_dict_keys"].items() if keys)
+    committed["to_dict_keys"][class_key] = keys[:-1]
+    findings = compare_manifest(ctx, current, committed, "RL003")
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule == "RL003"
+    assert finding.path == class_key.partition("::")[0]
+    assert "drifted" in finding.message
+    assert f"added {[keys[-1]]}" in finding.message
+
+
+def test_schema_gate_demands_refresh_when_versions_bumped_in_memory():
+    ctx = load_context(REPO_ROOT)
+    current = extract_manifest(ctx)
+    committed = json.loads(json.dumps(load_manifest(REPO_ROOT)))
+    committed["schema_version"] = committed["schema_version"] - 1
+    findings = compare_manifest(ctx, current, committed, "RL003")
+    assert len(findings) == 1
+    assert findings[0].path == MANIFEST_REL
+    assert "--refresh-manifest" in findings[0].message
+
+
+def test_schema_version_bump_unlocks_drift_but_requires_refresh(tmp_path):
+    """Full RL003 lifecycle in a synthetic tree: drift -> bump -> refresh."""
+    _materialize(tmp_path, "RL003", "bad")
+    drifting = run_lint(tmp_path, rule_ids=["RL003"])
+    assert not drifting.ok and "drifted" in drifting.findings[0].message
+
+    # A deliberate schema bump in the same tree unlocks the drift, but the
+    # stale manifest must now be regenerated...
+    _write(tmp_path, "src/repro/experiments/cache.py",
+           _CACHE_STUB.replace("SCHEMA_VERSION = 1", "SCHEMA_VERSION = 2"))
+    bumped = run_lint(tmp_path, rule_ids=["RL003"])
+    assert [f.path for f in bumped.findings] == [MANIFEST_REL]
+    assert "--refresh-manifest" in bumped.findings[0].message
+
+    # ...after which the tree is clean again.
+    refresh_manifest(tmp_path)
+    assert run_lint(tmp_path, rule_ids=["RL003"]).ok
+
+
+def test_env_registry_flags_documented_but_unread_rows(tmp_path):
+    """RL004's other direction: a registry row nothing reads is doc rot."""
+    _materialize(tmp_path, "RL004", "good")
+    docs = tmp_path / "docs/ENVIRONMENT.md"
+    docs.write_text(docs.read_text(encoding="utf-8")
+                    + "| `REPRO_GHOST_KNOB` | nobody |\n", encoding="utf-8")
+    report = run_lint(tmp_path, rule_ids=["RL004"])
+    assert len(report.findings) == 1
+    assert report.findings[0].path == "docs/ENVIRONMENT.md"
+    assert "REPRO_GHOST_KNOB" in report.findings[0].message
+
+
+# ------------------------------------------------ RL002's runtime twin
+
+
+def test_cache_fingerprint_ignores_engine_and_runtime_env(tmp_path, monkeypatch):
+    """Satellite 2: the dynamic half of RL002's static purity guarantee.
+
+    The cache key of a fixed (config, workload, trace) job must be
+    byte-identical whichever engine is selected and however the runtime
+    session knobs are set — otherwise hosts with different environments
+    would silently stop sharing warm entries.
+    """
+    config = baseline_config()
+    spec = all_workload_specs()[0]
+
+    def key() -> str:
+        cache = ResultCache(tmp_path / "cache")
+        return cache.key_for(config, spec, instructions=2000, num_registers=16)
+
+    monkeypatch.setenv("REPRO_CORE_ENGINE", "cycle")
+    monkeypatch.delenv("REPRO_BENCH_REPS", raising=False)
+    monkeypatch.delenv("REPRO_ORCHESTRATE", raising=False)
+    reference = key()
+
+    monkeypatch.setenv("REPRO_CORE_ENGINE", "event")
+    monkeypatch.setenv("REPRO_BENCH_REPS", "9")
+    monkeypatch.setenv("REPRO_ORCHESTRATE", "1")
+    assert key() == reference
+
+
+# --------------------------------------------------------------- CLI layer
+
+
+def test_cli_lint_is_clean_on_the_repository(capsys):
+    assert main(["lint", "--root", str(REPO_ROOT)]) == 0
+    assert "repro lint: clean" in capsys.readouterr().out
+
+
+def test_cli_lint_json_payload(capsys):
+    assert main(["lint", "--json", "--root", str(REPO_ROOT)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["findings"] == []
+    assert payload["rules"] == sorted(all_rules())
+    assert payload["files_scanned"] >= 50
+
+
+def test_cli_lint_findings_exit_code_and_rule_filter(tmp_path, capsys):
+    _materialize(tmp_path, "RL006", "bad")
+    assert main(["lint", "--root", str(tmp_path), "--rule", "RL006"]) == 1
+    out = capsys.readouterr().out
+    assert "RL006" in out and "finding(s)" in out
+    # Selecting a different rule skips the RL006 findings entirely.
+    assert main(["lint", "--root", str(tmp_path), "--rule", "RL001"]) == 0
+
+
+def test_cli_lint_unknown_rule_is_a_usage_error(tmp_path, capsys):
+    assert main(["lint", "--root", str(tmp_path), "--rule", "RL999"]) == 2
+    assert "unknown lint rules" in capsys.readouterr().err
+
+
+def test_cli_lint_refresh_manifest_is_idempotent(tmp_path, capsys):
+    _materialize(tmp_path, "RL003", "good")
+    manifest = tmp_path / MANIFEST_REL
+    before = manifest.read_bytes()
+    assert main(["lint", "--root", str(tmp_path), "--refresh-manifest"]) == 0
+    assert "wrote" in capsys.readouterr().out
+    assert manifest.read_bytes() == before
