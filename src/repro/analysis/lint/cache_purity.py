@@ -5,10 +5,15 @@ key fingerprints *what will be simulated* and nothing else.  The execution
 engine (``engine=`` / ``REPRO_CORE_ENGINE``) is deliberately excluded — the
 engines are bit-identical, so warm entries must stay valid under either —
 and no ``REPRO_*`` runtime knob may leak in, or two hosts with different
-environments would silently stop sharing work.  This rule statically forbids
-``os.environ``/``os.getenv`` reads and any ``engine``-named name or attribute
-inside the key/fingerprint functions of ``experiments/cache.py`` and
-``experiments/orchestrator.py``.
+environments would silently stop sharing work.  The same goes for the fault
+injection and supervision layer (``REPRO_FAULT_PLAN``, retry budgets, job
+timeouts): a faulted-and-retried run must produce entries bit-identical to a
+clean run, so none of that configuration may fingerprint.  This rule
+statically forbids ``os.environ``/``os.getenv`` reads, any ``engine``-named
+name or attribute, and any fault/retry/timeout-named name, attribute or
+parameter inside the key/fingerprint functions of ``experiments/cache.py``,
+``experiments/orchestrator.py``, ``experiments/faults.py`` and
+``experiments/parallel.py``.
 
 **Reachability.**  The call graph is walked one level deep within each
 module: a seed function's body plus the bodies of same-module functions it
@@ -23,6 +28,7 @@ runtime twin — ``test_cache_fingerprint_ignores_engine_and_runtime_env`` in
 from __future__ import annotations
 
 import ast
+import re
 from typing import Dict, Iterable, Iterator, List, Set, Tuple
 
 from repro.analysis.lint.engine import (
@@ -37,10 +43,25 @@ from repro.analysis.lint.engine import (
 SCOPE_FILES = (
     "src/repro/experiments/cache.py",
     "src/repro/experiments/orchestrator.py",
+    "src/repro/experiments/faults.py",
+    "src/repro/experiments/parallel.py",
 )
 
 #: Exact function names treated as cache-key seeds wherever they appear.
 SEED_NAMES = frozenset({"canonical_value", "_digest"})
+
+#: Names that smell of supervision state (fault plans, retry budgets, job
+#: timeouts).  None of it may fingerprint: a faulted-and-retried sweep must
+#: write cache entries bit-identical to a clean run's.
+_FAULT_NAME_RE = re.compile(
+    # Segment-anchored so DEFAULT_BASE_PC does not match on its 'FAULT':
+    # the keyword must start and end a snake_case/word segment.
+    r"(?<![A-Za-z])(?:faults?|retry|retries|timeouts?)(?![a-z])",
+    re.IGNORECASE)
+
+_FAULT_MESSAGE = ("references fault/retry/timeout configuration: supervision "
+                  "state must never enter cache-key material (a faulted-and-"
+                  "retried run must stay bit-identical to a clean one)")
 
 
 def is_key_function(name: str) -> bool:
@@ -98,14 +119,22 @@ def _violations(func: ast.FunctionDef) -> Iterator[Tuple[int, str, str]]:
                        "touches an 'engine'-named attribute: the execution "
                        "engine is bit-identical by contract and must never "
                        "enter a cache key (docs/ARCHITECTURE.md)")
-        elif isinstance(node, ast.Name) and node.id in ("environ", "getenv"):
-            yield (node.lineno, "env",
-                   "reads the process environment: runtime environment must "
-                   "never reach cache-key material")
-        elif isinstance(node, ast.arg) and node.arg == "engine":
-            yield (node.lineno, "engine",
-                   "takes an 'engine' parameter: the execution engine must "
-                   "never enter a cache key")
+            elif _FAULT_NAME_RE.search(node.attr):
+                yield (node.lineno, "fault", f"'{node.attr}' {_FAULT_MESSAGE}")
+        elif isinstance(node, ast.Name):
+            if node.id in ("environ", "getenv"):
+                yield (node.lineno, "env",
+                       "reads the process environment: runtime environment "
+                       "must never reach cache-key material")
+            elif _FAULT_NAME_RE.search(node.id):
+                yield (node.lineno, "fault", f"'{node.id}' {_FAULT_MESSAGE}")
+        elif isinstance(node, ast.arg):
+            if node.arg == "engine":
+                yield (node.lineno, "engine",
+                       "takes an 'engine' parameter: the execution engine "
+                       "must never enter a cache key")
+            elif _FAULT_NAME_RE.search(node.arg):
+                yield (node.lineno, "fault", f"'{node.arg}' {_FAULT_MESSAGE}")
 
 
 @register

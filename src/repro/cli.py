@@ -12,6 +12,13 @@ Subcommands:
   at one cache directory cover the full suite disjointly; an unsharded
   ``repro sweep --merge`` afterwards folds the per-shard cache entries into
   results bit-identical to a serial unsharded run and prints the summary.
+  With ``--workers > 1`` every job runs under per-job supervision
+  (``--max-retries`` pool attempts with backoff, ``--job-timeout`` wall
+  clocks, pool rebuilds, in-process degradation); jobs that exhaust every
+  recovery path are *dead-lettered* and the sweep exits with code 3 after
+  journaling all completed work to the cache.  ``repro sweep --resume``
+  points at that journal and re-executes only the missing jobs.  Ctrl-C
+  shuts the pool down, flushes the counter ledgers and exits 130.
 * ``repro figures <name ...|all>`` — regenerate paper figure harnesses from
   ``repro.experiments.figures``; warm from a swept cache this performs zero
   simulations and zero inspection passes (enforceable via ``--expect-warm``).
@@ -81,14 +88,31 @@ from repro.experiments.orchestrator import (
     SweepOrchestrator,
     orchestrate_figures,
 )
+from repro.experiments.parallel import (
+    DEFAULT_MAX_RETRIES,
+    JOB_TIMEOUT_ENV,
+    MAX_RETRIES_ENV,
+)
 from repro.pipeline.cpu import CORE_ENGINES
 from repro.experiments.reporting import (
+    format_dead_letters,
     format_dedup_stats,
+    format_health_report,
     format_persisted_dedup,
+    format_persisted_health,
     format_table,
 )
-from repro.experiments.runner import ExperimentRunner, Shard
+from repro.experiments.runner import ExperimentRunner, Shard, SweepExecutionError
 from repro.workloads.suites import SUITE_NAMES
+
+#: Exit code for a sweep that dead-lettered at least one job after exhausting
+#: every recovery path (retries, pool rebuilds, in-process fallback).  Distinct
+#: from 1 (generic failure) and 2 (usage/validation) so wrappers can branch on
+#: "partial results are journaled; rerun with --resume".
+EXIT_DEAD_LETTER = 3
+
+#: Exit code on Ctrl-C, following the shell convention of 128 + SIGINT.
+EXIT_INTERRUPT = 130
 
 #: Environment variable flipping the default of ``--orchestrate`` (``0``,
 #: ``false``, ``no`` or ``off`` disable cross-figure orchestration when the
@@ -139,6 +163,15 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
                         help="trace length in instructions")
     parser.add_argument("--suites", default=None,
                         help="comma-separated suite subset (default: all suites)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        help="extra pool attempts per failed job before the "
+                             "in-process fallback (parallel runner only; "
+                             f"default: ${MAX_RETRIES_ENV} or "
+                             f"{DEFAULT_MAX_RETRIES})")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        help="per-job wall-clock timeout in seconds (parallel "
+                             f"runner only; default: ${JOB_TIMEOUT_ENV} or "
+                             "no timeout)")
 
 
 def _build_runner(args: argparse.Namespace) -> ExperimentRunner:
@@ -152,7 +185,9 @@ def _build_runner(args: argparse.Namespace) -> ExperimentRunner:
     return default_runner(per_suite=per_suite, instructions=args.instructions,
                           workers=args.workers,
                           cache_dir=_resolve_cache_dir(args.cache_dir),
-                          suites=suites)
+                          suites=suites,
+                          max_retries=args.max_retries,
+                          job_timeout=args.job_timeout)
 
 
 def _print_verify_report(report: CacheVerifyReport, as_json: bool) -> None:
@@ -215,6 +250,33 @@ def _print_persisted_counters(counters: Dict[str, object]) -> None:
     dedup = counters.get("dedup") or {}
     if dedup.get("waves"):
         print(format_persisted_dedup(dedup))
+    health = counters.get("health") or {}
+    if health.get("runs"):
+        print(format_persisted_health(health))
+
+
+def _print_runner_health(runner: ExperimentRunner) -> None:
+    """Surface supervision events (retries, timeouts, ...) after a sweep.
+
+    Quiet on a healthy run: the table only appears when something had to be
+    recovered, so clean CI logs stay clean.
+    """
+    if runner.health.healthy:
+        return
+    print(format_health_report(runner.health))
+    if runner.health.dead_letters:
+        print(format_dead_letters(runner.health.dead_letters))
+
+
+def _print_failure_summary(error: SweepExecutionError) -> None:
+    """Explain a dead-lettered sweep on stderr, including the resume hint."""
+    print("sweep failed: job(s) dead-lettered after exhausting retries and "
+          "the in-process fallback", file=sys.stderr)
+    print(format_dead_letters(error.dead_letters), file=sys.stderr)
+    print(format_health_report(error.health, title="sweep health at failure"),
+          file=sys.stderr)
+    print("completed jobs are journaled in the cache; rerun with --resume to "
+          "execute only the missing ones", file=sys.stderr)
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -300,6 +362,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     shard = Shard.parse(args.shard) if args.shard else None
     if shard is not None and args.merge:
         raise SystemExit("--merge folds every shard's results; drop --shard")
+    if args.resume:
+        journal = _resolve_cache_dir(args.cache_dir)
+        if not os.path.isdir(journal):
+            raise SystemExit(
+                f"--resume: cache directory {journal!r} does not exist; an "
+                "interrupted sweep leaves its journal there, so there is "
+                "nothing to resume from")
     configs = _parse_config_subset(args.configs, _sweep_families(args.families),
                                    "configs")
     smt_configs = _parse_config_subset(args.smt_configs, sweep_smt_configs(),
@@ -319,6 +388,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                               smt_max_pairs=args.max_pairs)
             wave_stats = SweepOrchestrator(runner).execute([plan], shard=shard)
             print(format_dedup_stats(wave_stats, title="orchestrated wave"))
+            if args.resume:
+                print(f"resume: {wave_stats.cache_warm} job(s) already "
+                      f"journaled, {wave_stats.executed} executed")
         for name, config in configs.items():
             before = runner.cache.stats.stores
             results = runner.run_config(name, config, shard=shard)
@@ -337,6 +409,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                      if runner.report_cache is not None else 0)
         print(f"done: {simulated} simulated, {runner.cache.stats.hits} cache hits, "
               f"{inspected} inspection passes")
+        _print_runner_health(runner)
         if args.merge and "baseline" in configs:
             rows = [(name, f"{runner.geomean_speedup(name):.4f}")
                     for name in configs if name != "baseline"]
@@ -391,6 +464,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         hits = runner.cache.stats.hits if runner.cache is not None else 0
         print(f"done: {simulated} simulated, {hits} cache hits, "
               f"{inspected} inspection passes")
+        _print_runner_health(runner)
     if args.expect_warm and _expect_warm_violated(simulated, inspected,
                                                   dedup_stats):
         return 2
@@ -520,6 +594,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="full run that folds shard results and prints a summary")
     sweep.add_argument("--expect-warm", action="store_true",
                        help="exit 2 if anything had to be simulated or inspected")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume an interrupted or dead-lettered sweep from "
+                            "its cache journal (the cache directory must "
+                            "exist); only missing jobs are executed")
 
     figures = commands.add_parser(
         "figures", help="regenerate paper figure harnesses (warm-from-cache)")
@@ -589,24 +667,42 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point: parse ``argv``, dispatch, return the exit code."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "sweep":
         try:
             return _cmd_sweep(args)
-        except ValueError as error:  # e.g. malformed --shard
+        except ValueError as error:  # e.g. malformed --shard or --job-timeout
             print(str(error), file=sys.stderr)
             return 2
     if args.command == "figures":
-        return _cmd_figures(args)
+        try:
+            return _cmd_figures(args)
+        except ValueError as error:  # e.g. invalid --max-retries
+            print(str(error), file=sys.stderr)
+            return 2
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "bench":
         return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: parse ``argv``, dispatch, return the exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except KeyboardInterrupt:
+        # The `with runner` blocks unwound on the way here: pools are shut
+        # down and the counter ledgers flushed, so the journal is consistent.
+        print("interrupted: pool shut down, counter ledgers flushed; rerun "
+              "with --resume to pick the sweep back up", file=sys.stderr)
+        return EXIT_INTERRUPT
+    except SweepExecutionError as error:
+        _print_failure_summary(error)
+        return EXIT_DEAD_LETTER
 
 
 if __name__ == "__main__":

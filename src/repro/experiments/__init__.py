@@ -18,11 +18,15 @@ from repro.experiments.cache import (
     SCHEMA_VERSION,
     config_fingerprint,
 )
+from repro.experiments.faults import FaultPlan, FaultSpec, InjectedFault
 from repro.experiments.runner import (
+    DeadLetter,
     ExperimentRunner,
     Shard,
     SimulationJob,
     SmtJob,
+    SweepExecutionError,
+    SweepHealthReport,
     WorkloadRun,
 )
 from repro.experiments.parallel import ParallelExperimentRunner
@@ -55,9 +59,15 @@ __all__ = [
     "rfp_config",
     "constable_engine_config",
     "named_configs",
+    "DeadLetter",
     "DedupStats",
     "FIGURE_PLANS",
+    "FaultPlan",
+    "FaultSpec",
     "FigurePlan",
+    "InjectedFault",
+    "SweepExecutionError",
+    "SweepHealthReport",
     "SweepOrchestrator",
     "orchestrate_figures",
     "ExperimentRunner",

@@ -34,10 +34,10 @@ reference — the soft regression gate CI's perf-smoke job runs — and
 :func:`load_bench_history` / ``repro bench history`` render the perf
 trajectory across every accumulated report.
 
-**Report schema** (``BENCH_<UTC timestamp>.json``, ``schema`` = 3)::
+**Report schema** (``BENCH_<UTC timestamp>.json``, ``schema`` = 4)::
 
     {
-      "schema": 3,
+      "schema": 4,
       "created_utc": "YYYY-mm-ddTHH:MM:SSZ",
       "quick": bool,                  # --quick run (reduced budgets)
       "reps": N,                      # repetitions per measurement
@@ -85,7 +85,11 @@ trajectory across every accumulated report.
         "speedup": serial / orchestrated (medians),
         "identical": bool,            # figure payloads bit-identical
         "dedup": {"planned": N, "unique": N, "deduped": N,
-                  "cache_warm": N, "executed": N, "cold_jobs": [...]}}
+                  "cache_warm": N, "executed": N, "cold_jobs": [...]},
+        "health": {                 # last repetition's supervision report
+            "jobs": N, "attempts": N, "retries": N, "timeouts": N,
+            "pool_rebuilds": N, "degraded": N, "dead_lettered": N,
+            "dead_letters": [...]}}
     }
 
 ``speedup``/``speedup_geomean`` are only present when both engines ran; the
@@ -100,10 +104,12 @@ as an end-to-end differential check.
 Schema history: 1 = engine families only, single-shot walls; 2 = adds the
 optional ``orchestrator`` section; 3 = adds ``reps``/``warmup_discarded``,
 per-measurement sample distributions (``wall_samples``/``wall_min``/
-``wall_mad``) and the ``host`` provenance block.  ``wall_seconds`` keeps its
-name and position in every schema (a single shot *is* its own median), so
-:func:`latest_bench_report`, :func:`perf_gate`, :func:`format_bench_table`
-and :func:`load_bench_history` read all three schemas.
+``wall_mad``) and the ``host`` provenance block; 4 = adds the orchestrator
+``health`` supervision block (retries/timeouts/pool rebuilds observed while
+measuring).  ``wall_seconds`` keeps its name and position in every schema (a
+single shot *is* its own median), so :func:`latest_bench_report`,
+:func:`perf_gate`, :func:`format_bench_table` and :func:`load_bench_history`
+read all four schemas.
 """
 
 from __future__ import annotations
@@ -136,9 +142,9 @@ from repro.workloads.generator import DEFAULT_BASE_PC, generate_trace
 from repro.workloads.suites import WorkloadSpec, get_workload_spec
 from repro.workloads.trace import Trace
 
-#: Version of the BENCH_*.json report layout (3 adds repetition
-#: distributions and host provenance; see the module docstring's history).
-BENCH_SCHEMA_VERSION = 3
+#: Version of the BENCH_*.json report layout (4 adds the orchestrator
+#: supervision health block; see the module docstring's history).
+BENCH_SCHEMA_VERSION = 4
 
 #: Report filename pattern; the timestamp is UTC.
 BENCH_FILE_FORMAT = "BENCH_%Y%m%dT%H%M%SZ.json"
@@ -531,6 +537,7 @@ def run_orchestrator_bench(quick: bool = False,
     identical = True
     effective_workers = workers
     dedup = None
+    health = None
     for _ in range(reps):
         with ParallelExperimentRunner(**runner_kwargs) as serial_runner:
             start = time.perf_counter()
@@ -543,6 +550,7 @@ def run_orchestrator_bench(quick: bool = False,
             start = time.perf_counter()
             orchestrated_results, dedup = orchestrate_figures(wave_runner, selected)
             orchestrated_walls.append(time.perf_counter() - start)
+            health = wave_runner.health.to_dict()
 
         identical &= all(serial_results[name] == orchestrated_results[name]
                          for name in selected)
@@ -567,6 +575,7 @@ def run_orchestrator_bench(quick: bool = False,
         "speedup": serial_wall / max(orchestrated_wall, 1e-9),
         "identical": identical,
         "dedup": dedup.to_dict(),
+        "health": health,
     }
 
 

@@ -90,6 +90,11 @@ STATS_SUBDIR = ".stats"
 #: The four counters a ledger records (mirrors :meth:`CacheStats.as_dict`).
 _LEDGER_COUNTERS = ("hits", "misses", "stores", "evictions")
 
+#: Counter names of the supervision-health ledger block (see
+#: :func:`persist_health_stats`); ``runs`` counts runner flushes.
+_HEALTH_COUNTERS = ("runs", "jobs", "attempts", "retries", "timeouts",
+                    "pool_rebuilds", "degraded", "dead_lettered")
+
 #: The counters of an orchestrated wave's dedup block.  ``waves`` counts the
 #: ledger's folded wave records (1 per fresh ledger, summed by compaction), so
 #: rates stay computable after any number of compaction passes.
@@ -188,13 +193,15 @@ def _ledger_dir(directory: Optional[Union[str, Path]]) -> Path:
 
 def _read_ledgers(stats_dir: Path
                   ) -> Tuple[List[Tuple[Path, str, Dict[str, int],
+                                        Optional[Dict[str, int]],
                                         Optional[Dict[str, int]]]], List[Path]]:
     """Parseable ledgers as ``(live entries, superseded leftovers)``.
 
-    Entries are ``(path, cache class, counters, dedup)`` with counters
-    normalised to :data:`_LEDGER_COUNTERS` (missing keys read as zero) and
+    Entries are ``(path, cache class, counters, dedup, health)`` with counters
+    normalised to :data:`_LEDGER_COUNTERS` (missing keys read as zero),
     ``dedup`` the optional orchestrator-wave block normalised to
-    :data:`_DEDUP_COUNTERS` (None when the ledger carries no dedup data).
+    :data:`_DEDUP_COUNTERS` and ``health`` the optional supervision block
+    normalised to :data:`_HEALTH_COUNTERS` (None when absent).
     Unreadable or malformed ledgers are skipped — one bad writer must never
     poison observability for every host sharing the directory.
 
@@ -204,7 +211,8 @@ def _read_ledgers(stats_dir: Path
     the crash window can never double-count — aggregation reads either the
     compacted sums or the originals, never both.
     """
-    entries: List[Tuple[Path, str, Dict[str, int], Optional[Dict[str, int]]]] = []
+    entries: List[Tuple[Path, str, Dict[str, int], Optional[Dict[str, int]],
+                        Optional[Dict[str, int]]]] = []
     superseded: Set[str] = set()
     if not stats_dir.is_dir():
         return entries, []
@@ -220,11 +228,15 @@ def _read_ledgers(stats_dir: Path
             dedup = (None if raw_dedup is None else
                      {name: int(raw_dedup.get(name, 0))
                       for name in _DEDUP_COUNTERS})
+            raw_health = payload.get("health")
+            health = (None if raw_health is None else
+                      {name: int(raw_health.get(name, 0))
+                       for name in _HEALTH_COUNTERS})
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
             continue
         superseded.update(folded)
-        entries.append((path, cache_name, counters, dedup))
-    stale = [path for path, _, _, _ in entries if path.name in superseded]
+        entries.append((path, cache_name, counters, dedup, health))
+    stale = [path for path, _, _, _, _ in entries if path.name in superseded]
     live = [entry for entry in entries if entry[0].name not in superseded]
     return live, stale
 
@@ -306,9 +318,10 @@ def compact_persisted_stats(directory: Optional[Union[str, Path]] = None) -> int
                 pass
         by_cache: Dict[str, Dict[str, int]] = {}
         by_cache_dedup: Dict[str, Dict[str, int]] = {}
+        by_cache_health: Dict[str, Dict[str, int]] = {}
         sources: Dict[str, List[Path]] = {}
         folded: List[Path] = []
-        for path, cache_name, counters, dedup in live:
+        for path, cache_name, counters, dedup, health in live:
             bucket = by_cache.setdefault(cache_name, {})
             for name, value in counters.items():
                 bucket[name] = bucket.get(name, 0) + value
@@ -316,6 +329,10 @@ def compact_persisted_stats(directory: Optional[Union[str, Path]] = None) -> int
                 dedup_bucket = by_cache_dedup.setdefault(cache_name, {})
                 for name, value in dedup.items():
                     dedup_bucket[name] = dedup_bucket.get(name, 0) + value
+            if health is not None:
+                health_bucket = by_cache_health.setdefault(cache_name, {})
+                for name, value in health.items():
+                    health_bucket[name] = health_bucket.get(name, 0) + value
             sources.setdefault(cache_name, []).append(path)
             folded.append(path)
         if len(folded) <= len(by_cache):
@@ -331,6 +348,8 @@ def compact_persisted_stats(directory: Optional[Union[str, Path]] = None) -> int
                        "folded": [path.name for path in sources[cache_name]]}
             if cache_name in by_cache_dedup:
                 payload["dedup"] = by_cache_dedup[cache_name]
+            if cache_name in by_cache_health:
+                payload["health"] = by_cache_health[cache_name]
             target = _write_ledger(stats_dir, payload,
                                    f"compacted-{uuid.uuid4().hex}.stats")
             if target is None:
@@ -364,19 +383,22 @@ def persisted_cache_stats(directory: Optional[Union[str, Path]] = None
 
     Returns ``{"ledgers": n, "total": {hits, misses, stores, evictions},
     "by_cache": {<cache class>: {...}}, "dedup": {waves, planned, unique,
-    deduped, cache_warm, executed}}`` summed over all ledger files — i.e.
-    over every process (and every shard host writing to a shared directory)
-    that flushed its counters via :meth:`JsonDiskCache.persist_stats`, plus
-    every orchestrated wave streamed in via :func:`persist_dedup_stats`.
-    Unreadable ledgers are skipped; an empty or missing directory aggregates
-    to all-zero counters.
+    deduped, cache_warm, executed}, "health": {runs, jobs, attempts, retries,
+    timeouts, pool_rebuilds, degraded, dead_lettered}}`` summed over all
+    ledger files — i.e. over every process (and every shard host writing to a
+    shared directory) that flushed its counters via
+    :meth:`JsonDiskCache.persist_stats`, plus every orchestrated wave streamed
+    in via :func:`persist_dedup_stats` and every runner close streamed in via
+    :func:`persist_health_stats`.  Unreadable ledgers are skipped; an empty
+    or missing directory aggregates to all-zero counters.
     """
     zero = {name: 0 for name in _LEDGER_COUNTERS}
     dedup_total = {name: 0 for name in _DEDUP_COUNTERS}
+    health_total = {name: 0 for name in _HEALTH_COUNTERS}
     summary: Dict[str, object] = {"ledgers": 0, "total": dict(zero),
                                   "by_cache": {}}
     live, _ = _read_ledgers(_ledger_dir(directory))
-    for _, cache_name, counters, dedup in live:
+    for _, cache_name, counters, dedup, health in live:
         summary["ledgers"] += 1
         bucket = summary["by_cache"].setdefault(cache_name, dict(zero))
         for counter, value in counters.items():
@@ -385,8 +407,12 @@ def persisted_cache_stats(directory: Optional[Union[str, Path]] = None
         if dedup is not None:
             for counter, value in dedup.items():
                 dedup_total[counter] += value
+        if health is not None:
+            for counter, value in health.items():
+                health_total[counter] += value
     dedup_total["deduped"] = dedup_total["planned"] - dedup_total["unique"]
     summary["dedup"] = dedup_total
+    summary["health"] = health_total
     return summary
 
 
@@ -413,6 +439,34 @@ def persist_dedup_stats(directory: Union[str, Path],
                "pid": os.getpid(), "written_at": time.time(),
                "counters": {name: 0 for name in _LEDGER_COUNTERS},
                "dedup": block}
+    return _write_ledger(Path(directory) / STATS_SUBDIR, payload,
+                         f"{os.getpid()}-{uuid.uuid4().hex}.stats")
+
+
+#: Ledger cache-class name under which runners record supervision health.
+HEALTH_LEDGER_CLASS = "SweepSupervisor"
+
+
+def persist_health_stats(directory: Union[str, Path],
+                         health: Dict[str, object]) -> Optional[Path]:
+    """Stream one runner's supervision-health deltas into the counter ledger.
+
+    ``health`` carries :data:`_HEALTH_COUNTERS` deltas (a
+    :meth:`~repro.experiments.runner.SweepHealthReport.counters` payload, or
+    the delta since the runner's previous flush); each flush counts as one
+    ``runs``.  The block is written as its own ledger file (class
+    :data:`HEALTH_LEDGER_CLASS`, zero cache counters so old readers still
+    parse it) and :func:`persisted_cache_stats` sums it, which is how ``repro
+    cache stats`` reports cross-host retry/timeout/dead-letter rates for a
+    shared sweep directory.  Like every ledger write, failures are swallowed
+    — observability, never a correctness requirement.
+    """
+    block = {name: int(health.get(name, 0)) for name in _HEALTH_COUNTERS}
+    block["runs"] = 1
+    payload = {"schema": SCHEMA_VERSION, "cache": HEALTH_LEDGER_CLASS,
+               "pid": os.getpid(), "written_at": time.time(),
+               "counters": {name: 0 for name in _LEDGER_COUNTERS},
+               "health": block}
     return _write_ledger(Path(directory) / STATS_SUBDIR, payload,
                          f"{os.getpid()}-{uuid.uuid4().hex}.stats")
 

@@ -47,7 +47,9 @@ from repro.workloads.suites import SUITE_NAMES
 def default_runner(per_suite: int = 2, instructions: int = 6000,
                    workers: Optional[int] = None,
                    cache_dir: Optional[str] = None,
-                   suites: Sequence[str] = SUITE_NAMES) -> ExperimentRunner:
+                   suites: Sequence[str] = SUITE_NAMES,
+                   max_retries: Optional[int] = None,
+                   job_timeout: Optional[float] = None) -> ExperimentRunner:
     """The reduced workload set used by the benchmark and CLI harnesses.
 
     Every figure harness accepts either runner flavour: pass ``workers > 1``
@@ -57,6 +59,12 @@ def default_runner(per_suite: int = 2, instructions: int = 6000,
     reruns.  The directory holds both the result cache (single-thread + SMT
     entries) and the Load Inspector report cache, so a warm rerun of any
     figure harness performs zero simulations and zero inspection passes.
+
+    ``max_retries`` and ``job_timeout`` tune the parallel runner's per-job
+    supervision (retry budget and wall-clock timeout); both fall back to their
+    ``REPRO_MAX_RETRIES`` / ``REPRO_JOB_TIMEOUT`` environment defaults when
+    left as ``None`` and are ignored by the serial runner, which has no
+    supervision layer.
     """
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     report_cache = ReportCache(cache_dir) if cache_dir is not None else None
@@ -64,7 +72,9 @@ def default_runner(per_suite: int = 2, instructions: int = 6000,
         return ParallelExperimentRunner(per_suite=per_suite, instructions=instructions,
                                         suites=suites, cache=cache,
                                         report_cache=report_cache,
-                                        max_workers=workers)
+                                        max_workers=workers,
+                                        max_retries=max_retries,
+                                        job_timeout=job_timeout)
     return ExperimentRunner(per_suite=per_suite, instructions=instructions,
                             suites=suites, cache=cache, report_cache=report_cache)
 

@@ -73,6 +73,7 @@ from repro.experiments.runner import (
     Shard,
     SimulationJob,
     SmtJob,
+    SweepExecutionError,
 )
 from repro.isa.instruction import AddressingMode
 from repro.pipeline.smt import SmtResult
@@ -274,6 +275,30 @@ class SweepOrchestrator:
 
     # --------------------------------------------------------------- execution
 
+    def _journal_partial_wave(self, error: SweepExecutionError,
+                              outstanding_sim: Sequence[Tuple[str, SimulationJob]],
+                              outstanding_smt: Sequence[Tuple[str, SmtJob]]
+                              ) -> None:
+        """Best-effort cache journal of a failed wave's completed jobs."""
+        runner = self.runner
+        if runner.cache is None or not isinstance(error.partial, tuple):
+            return
+        partial_sim, partial_smt = error.partial
+        for _, job in outstanding_sim:
+            result = partial_sim.get((job.config_name, job.workload))
+            if result is not None and job.cache_key is not None:
+                try:
+                    runner.cache.put(job.cache_key, result)
+                except OSError:
+                    pass
+        for _, job in outstanding_smt:
+            result = partial_smt.get((job.config_name, job.pair))
+            if result is not None and job.cache_key is not None:
+                try:
+                    runner.cache.put_smt(job.cache_key, result)
+                except OSError:
+                    pass
+
     def execute(self, plans: Sequence[FigurePlan],
                 shard: Optional[Shard] = None) -> DedupStats:
         """Run every plan's outstanding jobs as one deduped wave and commit.
@@ -339,9 +364,18 @@ class SweepOrchestrator:
                for _, job in outstanding_smt])
 
         # One continuously fed wave over every outstanding representative.
-        sim_results, smt_results = runner._execute_wave(
-            [job for _, job in outstanding_sim],
-            [job for _, job in outstanding_smt])
+        try:
+            sim_results, smt_results = runner._execute_wave(
+                [job for _, job in outstanding_sim],
+                [job for _, job in outstanding_smt])
+        except SweepExecutionError as error:
+            # Partial-wave commit: journal the failed wave's successes to the
+            # on-disk cache (never the in-memory stores — the atomic-commit
+            # contract of `execute` holds), so the content-addressed cache
+            # doubles as the resume journal and a rerun (`repro sweep
+            # --resume`) stages them warm and executes only the missing jobs.
+            self._journal_partial_wave(error, outstanding_sim, outstanding_smt)
+            raise
         missing: List[str] = []
         for identity, job in outstanding_sim:
             result = sim_results.get((job.config_name, job.workload))

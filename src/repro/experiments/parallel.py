@@ -1,4 +1,4 @@
-"""Parallel, sharded experiment execution over a process pool.
+"""Parallel, sharded experiment execution over a supervised process pool.
 
 :class:`ParallelExperimentRunner` reuses the whole planning/aggregation core of
 :class:`~repro.experiments.runner.ExperimentRunner` and overrides only its
@@ -32,18 +32,58 @@ budget, register count, base PC), so a sweep running many configurations over
 the same workloads pays trace regeneration once per worker, not once per job —
 and a worker that generated a trace during the cold start reuses it for every
 simulation job it later receives.
+
+**Failure semantics** (the supervision layer; see docs/ARCHITECTURE.md):
+every payload runs through :func:`run_supervised`, which names failures with
+the job's ``(config, workload/pair)`` label and ships the remote traceback
+text home inside a pickle-safe :class:`JobExecutionError`.  The parent-side
+supervisor (:meth:`ParallelExperimentRunner._supervise`) gives each job a
+retry budget (``1 + max_retries`` pool attempts with exponential backoff), an
+optional per-attempt wall timeout, rebuilds the pool when a dying worker
+breaks it (``BrokenProcessPool``), validates every returned value (corrupted
+results are retried, never merged) and, once the pool budget is exhausted,
+degrades the job to one in-process serial attempt before dead-lettering it.
+Dead letters raise :class:`~repro.experiments.runner.SweepExecutionError`
+carrying the wave's successes, which the commit layer journals to the on-disk
+cache so a rerun executes only the missing jobs.  Simulation payloads are pure
+functions of their job, so retries cannot change results — a sweep that limps
+home through retries is bit-identical to one that never faulted.  The
+:data:`~repro.experiments.faults.FAULT_PLAN_ENV` chaos harness injects
+worker-side crashes/hangs/corruption to prove all of this deterministically.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
-from concurrent.futures import FIRST_EXCEPTION, Future, ProcessPoolExecutor, wait
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+import traceback
+import warnings
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.load_inspector import GlobalStableReport, inspect_trace
 from repro.experiments.cache import ReportCache, ResultCache
-from repro.experiments.runner import ExperimentRunner, SimulationJob, SmtJob, WorkloadRun
+from repro.experiments.faults import active_fault_plan, corrupt_result, maybe_inject
+from repro.experiments.runner import (
+    DeadLetter,
+    ExperimentRunner,
+    SimulationJob,
+    SmtJob,
+    SweepExecutionError,
+    WorkloadRun,
+    sim_job_label,
+    smt_job_label,
+)
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.cpu import OutOfOrderCore
 from repro.pipeline.smt import SmtResult, simulate_smt_pair
@@ -52,9 +92,63 @@ from repro.workloads.generator import DEFAULT_BASE_PC, generate_trace
 from repro.workloads.suites import SUITE_NAMES, WorkloadSpec
 from repro.workloads.trace import Trace
 
+#: Environment variables providing the supervision defaults (lenient parse:
+#: they tune resilience, not correctness, so malformed values warn once and
+#: fall back rather than killing every runner at construction).
+MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
+JOB_TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
+
+#: Pool retry budget when neither the parameter nor the env var is given.
+DEFAULT_MAX_RETRIES = 2
+
+#: How long the supervisor's wait() poll lasts between bookkeeping passes.
+_SUPERVISOR_POLL_SECONDS = 0.05
+
+#: Raw env values already warned about in this process (one warning per value).
+_WARNED_ENV_VALUES: Set[str] = set()
+
 #: Per-worker memo of regenerated traces:
 #: (workload, instructions, registers, base_pc) -> Trace.
 _WORKER_TRACES: Dict[Tuple[str, int, int, int], Trace] = {}
+
+
+def _warn_once(env_name: str, raw: str, expected: str) -> None:
+    token = f"{env_name}={raw}"
+    if token not in _WARNED_ENV_VALUES:
+        _WARNED_ENV_VALUES.add(token)
+        warnings.warn(
+            f"ignoring invalid {env_name}={raw!r}: expected {expected}",
+            RuntimeWarning, stacklevel=4)
+
+
+def _max_retries_from_env() -> int:
+    """The pool retry budget from ``REPRO_MAX_RETRIES``, leniently parsed."""
+    raw = os.environ.get(MAX_RETRIES_ENV, "").strip()
+    if not raw:
+        return DEFAULT_MAX_RETRIES
+    try:
+        value = int(raw)
+    except ValueError:
+        value = -1
+    if value < 0:
+        _warn_once(MAX_RETRIES_ENV, raw, "a non-negative integer")
+        return DEFAULT_MAX_RETRIES
+    return value
+
+
+def _job_timeout_from_env() -> Optional[float]:
+    """The per-attempt wall timeout from ``REPRO_JOB_TIMEOUT`` (None = none)."""
+    raw = os.environ.get(JOB_TIMEOUT_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        value = math.nan
+    if not math.isfinite(value) or value <= 0:
+        _warn_once(JOB_TIMEOUT_ENV, raw, "a positive number of seconds")
+        return None
+    return value
 
 
 def _regenerate_trace(spec_dict: Dict[str, object], instructions: int,
@@ -133,6 +227,64 @@ def generate_workload_payload(payload: Tuple[Dict[str, object], int, int, bool]
     return str(spec_dict["name"]), trace, report
 
 
+# ------------------------------------------------------------------ supervision
+
+class JobExecutionError(RuntimeError):
+    """A payload failed in a worker; names the job and carries its traceback.
+
+    Raised worker-side by :func:`run_supervised` so that by the time the
+    failure crosses the process boundary it already says *which* job died
+    (``label`` is ``sim:<config>/<workload>`` etc.) and *why*
+    (``remote_traceback`` is the fully formatted worker-side traceback —
+    exception objects lose their traceback in pickling, text does not).
+    """
+
+    def __init__(self, label: str, attempt: int, remote_traceback: str):
+        last_line = remote_traceback.strip().splitlines()[-1] \
+            if remote_traceback.strip() else "unknown error"
+        super().__init__(f"job {label} failed on attempt {attempt}: {last_line}")
+        self.label = label
+        self.attempt = attempt
+        self.remote_traceback = remote_traceback
+
+    def __reduce__(self):
+        # Multi-argument exception __init__ breaks default unpickling; spell
+        # the reconstruction out so the error survives the trip home.
+        return (JobExecutionError,
+                (self.label, self.attempt, self.remote_traceback))
+
+
+def run_supervised(fn: Callable[[object], object], payload: object,
+                   label: str, attempt: int) -> object:
+    """Worker-side wrapper around every payload execution.
+
+    Consults the chaos :class:`~repro.experiments.faults.FaultPlan` (if any)
+    before and after the payload, and converts every payload exception into a
+    :class:`JobExecutionError` naming the job — satellite of the supervision
+    contract: no failure may reach the parent anonymously.
+    """
+    maybe_inject(label, attempt)
+    try:
+        result = fn(payload)
+    except Exception:
+        raise JobExecutionError(label, attempt, traceback.format_exc()) from None
+    return corrupt_result(label, attempt, result)
+
+
+@dataclass
+class _SupervisedTask:
+    """Parent-side bookkeeping for one job travelling through the supervisor."""
+
+    fn: Callable[[object], object]
+    payload: object
+    label: str
+    validate: Callable[[object], bool]
+    attempts: int = 0
+    not_before: float = 0.0
+    deadline: float = math.inf
+    last_error: str = ""
+
+
 def _default_start_method() -> str:
     """Prefer fork (cheap, shares the imported simulator) where available."""
     methods = multiprocessing.get_all_start_methods()
@@ -147,6 +299,13 @@ class ParallelExperimentRunner(ExperimentRunner):
     inherited from the serial runner, so the two are drop-in interchangeable
     anywhere an :class:`ExperimentRunner` is accepted (figure harnesses,
     benchmarks, examples).
+
+    ``max_retries`` bounds how many times a failed job is resubmitted to the
+    pool (``REPRO_MAX_RETRIES``, default 2); ``job_timeout`` abandons any
+    single attempt running longer than that many wall seconds
+    (``REPRO_JOB_TIMEOUT``, default none).  Both are supervision knobs: they
+    change how a sweep executes, never what is simulated, and therefore never
+    enter cache keys (enforced by lint rule RL002).
     """
 
     def __init__(self, per_suite: Optional[int] = 2, instructions: int = 6000,
@@ -156,7 +315,10 @@ class ParallelExperimentRunner(ExperimentRunner):
                  cache: Optional[ResultCache] = None,
                  report_cache: Optional[ReportCache] = None,
                  max_workers: Optional[int] = None,
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None,
+                 max_retries: Optional[int] = None,
+                 job_timeout: Optional[float] = None,
+                 retry_backoff_seconds: float = 0.05):
         super().__init__(per_suite=per_suite, instructions=instructions,
                          num_registers=num_registers, suites=suites,
                          attach_stats_oracle=attach_stats_oracle, cache=cache,
@@ -165,19 +327,68 @@ class ParallelExperimentRunner(ExperimentRunner):
             max_workers = min(4, os.cpu_count() or 1)
         if max_workers <= 0:
             raise ValueError("max_workers must be positive")
+        if max_retries is None:
+            max_retries = _max_retries_from_env()
+        elif max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if job_timeout is None:
+            job_timeout = _job_timeout_from_env()
+        elif not math.isfinite(job_timeout) or job_timeout <= 0:
+            raise ValueError("job_timeout must be a positive number of seconds")
+        if retry_backoff_seconds < 0:
+            raise ValueError("retry_backoff_seconds must be >= 0")
         self.max_workers = max_workers
         self.start_method = start_method or _default_start_method()
+        self.max_retries = max_retries
+        self.job_timeout = job_timeout
+        self.retry_backoff_seconds = retry_backoff_seconds
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Validate any chaos plan eagerly: a typo'd REPRO_FAULT_PLAN must die
+        # here, loudly, not silently inject nothing inside the workers.
+        active_fault_plan()
 
     # ----------------------------------------------------------------- executor
 
     def _executor(self) -> ProcessPoolExecutor:
-        """The lazily created, reused worker pool (keeps worker trace memos warm)."""
+        """The lazily created, reused worker pool (keeps worker trace memos warm).
+
+        A pool whose worker died (OOM kill, injected crash) is permanently
+        broken — every later submit raises ``BrokenProcessPool`` — so a broken
+        cached pool is discarded and respawned here instead of poisoning every
+        subsequent call until ``close()``.
+        """
+        if self._pool is not None and getattr(self._pool, "_broken", False):
+            self._discard_pool()
         if self._pool is None:
             context = multiprocessing.get_context(self.start_method)
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers,
                                              mp_context=context)
         return self._pool
+
+    def _discard_pool(self, terminate: bool = False) -> None:
+        """Drop the cached pool (counted as a rebuild); optionally kill workers.
+
+        ``terminate=True`` is the hung-job escape hatch: a worker stuck in a
+        payload would keep ``shutdown(wait=False)`` from ever reaping it, so
+        the supervisor terminates the worker processes outright before
+        shutting the executor machinery down.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        self.health.pool_rebuilds += 1
+        if terminate:
+            processes = getattr(pool, "_processes", None)
+            if isinstance(processes, dict):
+                for process in list(processes.values()):
+                    try:
+                        process.terminate()
+                    except (OSError, ValueError):
+                        pass  # already dead or already closed: goal achieved
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except (OSError, RuntimeError):
+            pass  # broken executors may refuse shutdown; pool is dropped anyway
 
     def close(self) -> None:
         """Shut the worker pool down; the runner may be reused (pool respawns).
@@ -187,48 +398,230 @@ class ParallelExperimentRunner(ExperimentRunner):
         captures the whole run).
         """
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
         super().close()
 
-    def _collect(self, futures: Sequence[Future]) -> List[object]:
-        """Await all futures; on the first failure cancel the rest and raise."""
-        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+    # --------------------------------------------------------------- supervisor
+
+    def _fallback_in_process(self, task: _SupervisedTask,
+                             results: List[object],
+                             dead: List[DeadLetter]) -> None:
+        """The last rung: run an exhausted job serially in the parent.
+
+        A job that failed every pool attempt may be the victim of pool-level
+        trouble (a neighbour crashing the worker, a resource-starved host)
+        rather than broken in itself, so it gets exactly one in-process try
+        before being dead-lettered.  The attempt still runs through
+        :func:`run_supervised`: worker-scoped faults no-op in the parent, but
+        ``"scope": "anywhere"`` rules reach this rung too — that is how tests
+        force the dead-letter path deterministically.
+        """
         try:
-            return [future.result() for future in done]
-        finally:
-            for future in not_done:
-                future.cancel()
+            value = run_supervised(task.fn, task.payload, task.label,
+                                   task.attempts + 1)
+        except Exception:
+            dead.append(DeadLetter(task.label, task.attempts, task.last_error,
+                                   fallback_error=traceback.format_exc()))
+            return
+        if task.validate(value):
+            self.health.degraded += 1
+            results.append(value)
+        else:
+            dead.append(DeadLetter(
+                task.label, task.attempts, task.last_error,
+                fallback_error="in-process result failed validation"))
+
+    def _supervise(self, tasks: Sequence[_SupervisedTask]) -> List[object]:
+        """Run every task to completion with retries, timeouts and rebuilds.
+
+        The loop submits ready tasks (backoff-gated), polls the pending
+        futures, and classifies every completion:
+
+        * a validated result is accepted;
+        * an invalid result (corruption) or any failure consumes one attempt —
+          the task retries with exponential backoff while its budget
+          (``1 + max_retries`` pool attempts) lasts, then degrades to one
+          in-process attempt, then dead-letters;
+        * a cancelled future never ran (pool rebuild collateral), so its
+          attempt is refunded and the task requeues immediately;
+        * an attempt exceeding ``job_timeout`` is abandoned — and if it cannot
+          be cancelled (already running, possibly hung), the pool is torn down
+          with its workers terminated so one stuck payload cannot wedge the
+          sweep.
+
+        Raises :class:`SweepExecutionError` (successes attached) if any task
+        dead-lettered; otherwise returns every task's validated result.
+        """
+        health = self.health
+        health.jobs += len(tasks)
+        budget = 1 + self.max_retries
+        results: List[object] = []
+        dead: List[DeadLetter] = []
+        ready: List[_SupervisedTask] = list(tasks)
+        pending: Dict[Future, _SupervisedTask] = {}
+
+        def fail(task: _SupervisedTask, error_text: str,
+                 timed_out: bool = False) -> None:
+            task.last_error = error_text
+            if timed_out:
+                health.timeouts += 1
+            if task.attempts < budget:
+                health.retries += 1
+                task.not_before = (time.monotonic() + self.retry_backoff_seconds
+                                   * (2 ** (task.attempts - 1)))
+                ready.append(task)
+            else:
+                self._fallback_in_process(task, results, dead)
+
+        while ready or pending:
+            now = time.monotonic()
+            held: List[_SupervisedTask] = []
+            for task in ready:
+                if task.not_before > now:
+                    held.append(task)
+                    continue
+                task.attempts += 1
+                health.attempts += 1
+                future = self._executor().submit(
+                    run_supervised, task.fn, task.payload, task.label,
+                    task.attempts)
+                task.deadline = (now + self.job_timeout
+                                 if self.job_timeout is not None else math.inf)
+                pending[future] = task
+            ready = held
+            if not pending:
+                # Everything left is backing off; sleep until the earliest
+                # retry becomes ready instead of spinning.
+                wake = min(task.not_before for task in ready)
+                time.sleep(max(0.0, wake - time.monotonic()))
+                continue
+            done, _ = wait(list(pending), timeout=_SUPERVISOR_POLL_SECONDS,
+                           return_when=FIRST_COMPLETED)
+            for future in done:
+                task = pending.pop(future)
+                try:
+                    value = future.result()
+                except CancelledError:
+                    # Never ran (rebuild collateral): refund the attempt.
+                    task.attempts -= 1
+                    health.attempts -= 1
+                    ready.append(task)
+                    continue
+                except JobExecutionError as error:
+                    fail(task, error.remote_traceback)
+                    continue
+                except BrokenExecutor:
+                    fail(task, f"worker process died while {task.label} was "
+                               f"in flight (BrokenProcessPool; the pool is "
+                               f"respawned on the next submission)")
+                    continue
+                except Exception:
+                    fail(task, traceback.format_exc())
+                    continue
+                if task.validate(value):
+                    results.append(value)
+                else:
+                    fail(task, f"corrupted result for {task.label}: the "
+                               f"worker returned {type(value).__name__!r} "
+                               f"that failed validation")
+            if self.job_timeout is not None and pending:
+                now = time.monotonic()
+                expired = [future for future, task in pending.items()
+                           if task.deadline <= now and not future.done()]
+                for future in expired:
+                    task = pending.pop(future)
+                    if future.cancel():
+                        # Never started (queued behind slower jobs).  The
+                        # wall budget is per-*attempt*, so an attempt that
+                        # never ran is refunded and requeued, not counted
+                        # against the retry budget as a timeout.
+                        task.attempts -= 1
+                        health.attempts -= 1
+                        ready.append(task)
+                        continue
+                    if future.done():
+                        # Completed in the race window; let the normal
+                        # completion handling classify it next poll.
+                        pending[future] = task
+                        continue
+                    # Running in a worker that may be hung; kill the pool so
+                    # the stuck payload cannot wedge the sweep.  Sibling
+                    # futures die as rebuild collateral and are
+                    # refunded/retried through the paths above.
+                    self._discard_pool(terminate=True)
+                    fail(task, f"attempt {task.attempts} of {task.label} "
+                               f"exceeded the {self.job_timeout:g}s wall "
+                               f"timeout", timed_out=True)
+        if dead:
+            health.dead_letters.extend(dead)
+            error = SweepExecutionError(dead, health)
+            error.results = results
+            raise error
+        return results
 
     # ---------------------------------------------------------------- execution
+
+    @staticmethod
+    def _sim_validator(workload: str) -> Callable[[object], bool]:
+        def validate(value: object) -> bool:
+            return (isinstance(value, tuple) and len(value) == 2
+                    and value[0] == workload
+                    and isinstance(value[1], SimulationResult))
+        return validate
+
+    @staticmethod
+    def _smt_validator(pair: Tuple[str, str]) -> Callable[[object], bool]:
+        def validate(value: object) -> bool:
+            return (isinstance(value, tuple) and len(value) == 2
+                    and value[0] == tuple(pair)
+                    and isinstance(value[1], SmtResult))
+        return validate
 
     def _execute_jobs(self, jobs: Sequence[SimulationJob]) -> Dict[str, SimulationResult]:
         """Shard ``jobs`` across the pool and merge keyed by workload name."""
         if len(jobs) <= 1 or self.max_workers == 1:
             return super()._execute_jobs(jobs)
-        ordered = sorted(jobs, key=lambda job: job.workload)
-        pool = self._executor()
-        futures = []
-        for job in ordered:
+        tasks = []
+        for job in sorted(jobs, key=lambda job: job.workload):
             payload = (job.config_name, job.run.spec.to_dict(),
                        self.instructions, self.num_registers, job.config)
-            futures.append(pool.submit(simulate_job_payload, payload))
-        return dict(self._collect(futures))
+            tasks.append(_SupervisedTask(
+                fn=simulate_job_payload, payload=payload,
+                label=sim_job_label(job),
+                validate=self._sim_validator(job.workload)))
+        try:
+            raw = self._supervise(tasks)
+        except SweepExecutionError as error:
+            error.partial = dict(self._partial_successes(error))
+            raise
+        return dict(raw)
 
     def _execute_smt_jobs(self, jobs: Sequence[SmtJob]
                           ) -> Dict[Tuple[str, str], SmtResult]:
         """Shard SMT pair simulations across the pool, merged keyed by pair."""
         if len(jobs) <= 1 or self.max_workers == 1:
             return super()._execute_smt_jobs(jobs)
-        ordered = sorted(jobs, key=lambda job: job.pair)
-        pool = self._executor()
-        futures = []
-        for job in ordered:
+        tasks = []
+        for job in sorted(jobs, key=lambda job: job.pair):
             payload = (job.config_name, job.run.spec.to_dict(),
                        job.second_spec.to_dict(), self.instructions,
                        self.num_registers, job.second_base_pc, job.config)
-            futures.append(pool.submit(simulate_smt_job_payload, payload))
-        return dict(self._collect(futures))
+            tasks.append(_SupervisedTask(
+                fn=simulate_smt_job_payload, payload=payload,
+                label=smt_job_label(job),
+                validate=self._smt_validator(job.pair)))
+        try:
+            raw = self._supervise(tasks)
+        except SweepExecutionError as error:
+            error.partial = dict(self._partial_successes(error))
+            raise
+        return dict(raw)
+
+    @staticmethod
+    def _partial_successes(error: SweepExecutionError) -> List[Tuple[object, object]]:
+        """The keyed payload tuples a failed supervision pass still completed."""
+        return list(error.results)
 
     def _execute_wave(self, jobs: Sequence[SimulationJob],
                       smt_jobs: Sequence[SmtJob] = ()
@@ -237,8 +630,8 @@ class ParallelExperimentRunner(ExperimentRunner):
         """Feed a mixed multi-configuration batch into one pool submission.
 
         Every job — single-thread and SMT alike, across every configuration in
-        the batch — is submitted up front and awaited once, so the pool stays
-        continuously fed for the whole wave instead of draining at each
+        the batch — is submitted up front and supervised together, so the pool
+        stays continuously fed for the whole wave instead of draining at each
         per-configuration barrier.  Submission order is sorted by
         ``(config_name, workload/pair)`` for a reproducible shard assignment;
         results merge keyed by those same tuples, so completion order never
@@ -246,20 +639,47 @@ class ParallelExperimentRunner(ExperimentRunner):
         """
         if len(jobs) + len(smt_jobs) <= 1 or self.max_workers == 1:
             return super()._execute_wave(jobs, smt_jobs)
-        pool = self._executor()
-        futures = []
+        tasks = []
         for job in sorted(jobs, key=lambda job: (job.config_name, job.workload)):
             payload = (job.config_name, job.run.spec.to_dict(),
                        self.instructions, self.num_registers, job.config)
-            futures.append(pool.submit(simulate_keyed_job_payload, payload))
+            tasks.append(_SupervisedTask(
+                fn=simulate_keyed_job_payload, payload=payload,
+                label=sim_job_label(job),
+                validate=self._wave_validator("sim", (job.config_name,
+                                                      job.workload))))
         for job in sorted(smt_jobs, key=lambda job: (job.config_name, job.pair)):
             payload = (job.config_name, job.run.spec.to_dict(),
                        job.second_spec.to_dict(), self.instructions,
                        self.num_registers, job.second_base_pc, job.config)
-            futures.append(pool.submit(simulate_keyed_smt_job_payload, payload))
+            tasks.append(_SupervisedTask(
+                fn=simulate_keyed_smt_job_payload, payload=payload,
+                label=smt_job_label(job),
+                validate=self._wave_validator("smt", (job.config_name,
+                                                      job.pair))))
+        try:
+            raw = self._supervise(tasks)
+        except SweepExecutionError as error:
+            error.partial = self._merge_wave(self._partial_successes(error))
+            raise
+        return self._merge_wave(raw)
+
+    @staticmethod
+    def _wave_validator(kind: str, key: object) -> Callable[[object], bool]:
+        expected_type = SimulationResult if kind == "sim" else SmtResult
+        def validate(value: object) -> bool:
+            return (isinstance(value, tuple) and len(value) == 3
+                    and value[0] == kind and value[1] == key
+                    and isinstance(value[2], expected_type))
+        return validate
+
+    @staticmethod
+    def _merge_wave(raw: Sequence[Tuple[str, object, object]]
+                    ) -> Tuple[Dict[Tuple[str, str], SimulationResult],
+                               Dict[Tuple[str, Tuple[str, str]], SmtResult]]:
         sim_results: Dict[Tuple[str, str], SimulationResult] = {}
         smt_results: Dict[Tuple[str, Tuple[str, str]], SmtResult] = {}
-        for kind, key, result in self._collect(futures):
+        for kind, key, result in raw:
             if kind == "sim":
                 sim_results[key] = result
             else:
@@ -274,7 +694,9 @@ class ParallelExperimentRunner(ExperimentRunner):
         Load Inspector reports are looked up in the on-disk report cache from
         the parent before dispatch, so workers only run the inspection pass
         for workloads whose report is genuinely missing; fresh reports are
-        published back to the cache as shards complete.
+        published back to the cache as shards complete — including the
+        completed shards of a *failed* generation pass, so even a cold start
+        that dead-letters leaves its finished inspection work journalled.
         """
         if len(specs) <= 1 or self.max_workers == 1:
             return super()._generate_workloads(specs)
@@ -286,20 +708,46 @@ class ParallelExperimentRunner(ExperimentRunner):
                 report = self.report_cache.get(key)
                 if report is not None:
                     cached_reports[spec.name] = report
-        pool = self._executor()
-        futures = []
+        tasks = []
         for spec in sorted(specs, key=lambda spec: spec.name):
             payload = (spec.to_dict(), self.instructions, self.num_registers,
                        spec.name not in cached_reports)
-            futures.append(pool.submit(generate_workload_payload, payload))
+            tasks.append(_SupervisedTask(
+                fn=generate_workload_payload, payload=payload,
+                label=f"gen:{spec.name}",
+                validate=self._gen_validator(spec.name)))
+        try:
+            raw = self._supervise(tasks)
+        except SweepExecutionError as error:
+            self._publish_reports(self._partial_successes(error),
+                                  specs_by_name, cached_reports)
+            raise
         runs: Dict[str, WorkloadRun] = {}
-        for name, trace, report in self._collect(futures):
+        for name, trace, report in raw:
             if report is None:
                 report = cached_reports[name]
-            else:
-                key = self._report_cache_key(specs_by_name[name])
-                if key is not None:
-                    self.report_cache.put(key, report)
             runs[name] = WorkloadRun(spec=specs_by_name[name], trace=trace,
                                      report=report)
+        self._publish_reports(raw, specs_by_name, cached_reports)
         return runs
+
+    @staticmethod
+    def _gen_validator(name: str) -> Callable[[object], bool]:
+        def validate(value: object) -> bool:
+            return (isinstance(value, tuple) and len(value) == 3
+                    and value[0] == name and isinstance(value[1], Trace)
+                    and (value[2] is None
+                         or isinstance(value[2], GlobalStableReport)))
+        return validate
+
+    def _publish_reports(self, raw: Sequence[Tuple[str, Trace,
+                                                   Optional[GlobalStableReport]]],
+                         specs_by_name: Dict[str, WorkloadSpec],
+                         cached_reports: Dict[str, GlobalStableReport]) -> None:
+        """Publish freshly inspected reports to the on-disk report cache."""
+        for name, _, report in raw:
+            if report is None or name in cached_reports:
+                continue
+            key = self._report_cache_key(specs_by_name[name])
+            if key is not None:
+                self.report_cache.put(key, report)

@@ -87,6 +87,77 @@ def format_persisted_dedup(dedup: Mapping[str, int],
     return format_table(["metric", "value"], rows, title=title)
 
 
+def format_health_report(health, title: str = "sweep health") -> str:
+    """Render a :class:`~repro.experiments.runner.SweepHealthReport`.
+
+    Accepts the dataclass itself or its ``to_dict()`` form, so bench reports
+    loaded back from JSON render identically to live runs.
+    """
+    payload = health.to_dict() if hasattr(health, "to_dict") else dict(health)
+    rows = [
+        ("jobs supervised", payload.get("jobs", 0)),
+        ("attempts", payload.get("attempts", 0)),
+        ("retries", payload.get("retries", 0)),
+        ("timeouts", payload.get("timeouts", 0)),
+        ("pool rebuilds", payload.get("pool_rebuilds", 0)),
+        ("degraded (in-process)", payload.get("degraded", 0)),
+        ("dead-lettered", payload.get("dead_lettered",
+                                      len(payload.get("dead_letters", [])))),
+    ]
+    return format_table(["metric", "count"], rows, title=title)
+
+
+def _last_line(text: str) -> str:
+    lines = [line for line in str(text).strip().splitlines() if line.strip()]
+    return lines[-1] if lines else ""
+
+
+def format_dead_letters(dead_letters: Sequence[object],
+                        title: str = "dead-lettered jobs") -> str:
+    """Render dead letters (dataclasses or their ``to_dict()`` forms), one per line.
+
+    Full tracebacks are deliberately reduced to their last line here — the
+    complete text stays on the :class:`~repro.experiments.runner.DeadLetter`
+    records (and in ``--json`` bench/health payloads) for forensics; the
+    human summary needs *which* job died of *what*, not forty frames each.
+    """
+    lines: List[str] = [title] if title else []
+    for letter in dead_letters:
+        payload = letter.to_dict() if hasattr(letter, "to_dict") else dict(letter)
+        line = (f"  {payload['label']} (attempts {payload.get('attempts', '?')}): "
+                f"{_last_line(payload.get('error', '')) or 'unknown error'}")
+        fallback = _last_line(payload.get("fallback_error", ""))
+        if fallback:
+            line += f"; in-process fallback: {fallback}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_persisted_health(health: Mapping[str, int],
+                            title: str = "sweep health (all processes)") -> str:
+    """Render the ledger-aggregated health block of ``persisted_cache_stats``.
+
+    Counts are sums over every runner that flushed supervision counters into
+    the cache directory (possibly from several shard hosts); the retry rate
+    says how flaky the fleet actually was, dead-lettered whether anything was
+    lost.
+    """
+    attempts = health.get("attempts", 0)
+    retries = health.get("retries", 0)
+    rows = [
+        ("runs", health.get("runs", 0)),
+        ("jobs supervised", health.get("jobs", 0)),
+        ("attempts", attempts),
+        ("retries", retries),
+        ("retry rate", format_percent(retries / attempts) if attempts else "n/a"),
+        ("timeouts", health.get("timeouts", 0)),
+        ("pool rebuilds", health.get("pool_rebuilds", 0)),
+        ("degraded (in-process)", health.get("degraded", 0)),
+        ("dead-lettered", health.get("dead_lettered", 0)),
+    ]
+    return format_table(["metric", "value"], rows, title=title)
+
+
 def per_suite_table(per_suite: Mapping[str, Mapping[str, float]],
                     value_format=format_speedup, title: str = "") -> str:
     """Render a {suite: {config: value}} mapping in the paper's figure layout."""

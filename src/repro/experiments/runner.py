@@ -47,12 +47,13 @@ entries into results bit-identical to a serial unsharded sweep.
 
 from __future__ import annotations
 
+import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from repro.analysis.load_inspector import GlobalStableReport, inspect_trace
 from repro.analysis.stats_utils import filtered_geomean
-from repro.experiments.cache import ReportCache, ResultCache
+from repro.experiments.cache import ReportCache, ResultCache, persist_health_stats
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.cpu import OutOfOrderCore
 from repro.pipeline.smt import SMT_SECOND_THREAD_BASE_PC, SmtResult, simulate_smt_pair
@@ -164,6 +165,115 @@ class SmtJob:
     cache_key: Optional[str] = None
 
 
+def sim_job_label(job: SimulationJob) -> str:
+    """The canonical supervision/fault label of a single-thread job."""
+    return f"sim:{job.config_name}/{job.workload}"
+
+
+def smt_job_label(job: SmtJob) -> str:
+    """The canonical supervision/fault label of an SMT2 pair job."""
+    return f"smt:{job.config_name}/{job.pair[0]}+{job.pair[1]}"
+
+
+@dataclass
+class DeadLetter:
+    """One job that exhausted every execution rung of a sweep.
+
+    ``error`` is the traceback text of the last pool-side failure (remote
+    workers format it before the exception crosses the process boundary, so
+    the text survives pickling); ``fallback_error`` is filled when the final
+    in-process degradation attempt failed too.
+    """
+
+    label: str
+    attempts: int
+    error: str
+    fallback_error: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form, embedded in health reports and ledgers."""
+        return {"label": self.label, "attempts": self.attempts,
+                "error": self.error, "fallback_error": self.fallback_error}
+
+
+@dataclass
+class SweepHealthReport:
+    """Supervision accounting for every job a runner executed.
+
+    Counters accumulate across the runner's lifetime (every ``run_config`` /
+    ``run_smt_config`` / orchestrated wave), are rendered by
+    ``repro.experiments.reporting.format_health_report`` and flushed to the
+    cache directory's counter ledger on close, so ``repro cache stats``
+    surfaces retry/timeout/dead-letter rates across every process sharing a
+    sweep directory.
+    """
+
+    jobs: int = 0
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    degraded: int = 0
+    dead_letters: List[DeadLetter] = field(default_factory=list)
+
+    @property
+    def dead_lettered(self) -> int:
+        """How many jobs failed every rung (pool retries + in-process)."""
+        return len(self.dead_letters)
+
+    @property
+    def healthy(self) -> bool:
+        """True when every job succeeded on its first attempt in the pool."""
+        return not (self.retries or self.timeouts or self.pool_rebuilds
+                    or self.degraded or self.dead_letters)
+
+    def counters(self) -> Dict[str, int]:
+        """The integer counters (ledger form; dead letters reduce to a count)."""
+        return {"jobs": self.jobs, "attempts": self.attempts,
+                "retries": self.retries, "timeouts": self.timeouts,
+                "pool_rebuilds": self.pool_rebuilds, "degraded": self.degraded,
+                "dead_lettered": self.dead_lettered}
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable form (embedded in bench reports)."""
+        payload: Dict[str, object] = dict(self.counters())
+        payload["dead_letters"] = [letter.to_dict()
+                                   for letter in self.dead_letters]
+        return payload
+
+
+class SweepExecutionError(RuntimeError):
+    """One or more jobs dead-lettered after every retry/degradation rung.
+
+    Subclasses :class:`RuntimeError` and embeds the last failure's traceback
+    text in its message, so callers matching on the underlying error's text
+    (and the atomic-commit tests doing exactly that) keep working.  Carries
+    the wave's successes so the partial-commit layer can journal them to the
+    on-disk cache before the error propagates — which is what makes the cache
+    a resume journal: a rerun (or ``repro sweep --resume``) re-executes only
+    the jobs that are genuinely missing.
+
+    ``partial`` is set by each ``_execute_*`` hook to its merged-dictionary
+    return shape (results keyed exactly as the hook would have keyed them).
+    """
+
+    def __init__(self, dead_letters: Sequence[DeadLetter],
+                 health: "SweepHealthReport"):
+        labels = ", ".join(letter.label for letter in dead_letters[:5])
+        if len(dead_letters) > 5:
+            labels += f", ... ({len(dead_letters) - 5} more)"
+        detail = dead_letters[-1].error if dead_letters else ""
+        super().__init__(
+            f"{len(dead_letters)} job(s) dead-lettered after retries: "
+            f"{labels}\nlast failure:\n{detail}")
+        self.dead_letters = list(dead_letters)
+        self.health = health
+        #: Raw supervisor successes (executor-internal shape); the hooks
+        #: reduce these into ``partial``.
+        self.results: List[object] = []
+        self.partial: Optional[object] = None
+
+
 class ExperimentRunner:
     """Runs named configurations over a (possibly reduced) workload set.
 
@@ -188,6 +298,9 @@ class ExperimentRunner:
         self.attach_stats_oracle = attach_stats_oracle
         self.cache = cache
         self.report_cache = report_cache
+        #: Supervision accounting across this runner's lifetime.
+        self.health = SweepHealthReport()
+        self._flushed_health: Dict[str, int] = {}
         self._workloads: Optional[Dict[str, WorkloadRun]] = None
         self._smt_results: Dict[str, Dict[Tuple[str, str], SmtResult]] = {}
 
@@ -307,13 +420,36 @@ class ExperimentRunner:
         return simulate_smt_pair(job.run.trace, second_trace,
                                  job.config, name=job.config_name)
 
+    def _dead_letter(self, label: str, attempts: int = 1,
+                     error: Optional[BaseException] = None) -> DeadLetter:
+        """Record one exhausted job in the health report and return the letter."""
+        letter = DeadLetter(label=label, attempts=attempts,
+                            error=traceback.format_exc() if error is not None
+                            else "")
+        self.health.dead_letters.append(letter)
+        return letter
+
     def _execute_jobs(self, jobs: Sequence[SimulationJob]) -> Dict[str, SimulationResult]:
         """Simulate every planned job serially; subclasses override to shard.
 
         Returns results keyed by workload name, so merging is independent of
-        execution/completion order.
+        execution/completion order.  A failure raises
+        :class:`SweepExecutionError` carrying the results completed so far
+        (``partial``), so the commit layer can journal them to the on-disk
+        cache before the error propagates.
         """
-        return {job.workload: self._simulate_job(job) for job in jobs}
+        results: Dict[str, SimulationResult] = {}
+        for job in jobs:
+            self.health.jobs += 1
+            self.health.attempts += 1
+            try:
+                results[job.workload] = self._simulate_job(job)
+            except Exception as exc:
+                letter = self._dead_letter(sim_job_label(job), error=exc)
+                error = SweepExecutionError([letter], self.health)
+                error.partial = results
+                raise error from exc
+        return results
 
     def _execute_wave(self, jobs: Sequence[SimulationJob],
                       smt_jobs: Sequence[SmtJob] = ()
@@ -330,12 +466,48 @@ class ExperimentRunner:
         submission, so the pool never drains between configurations or figure
         harnesses.  This is the execution hook behind the cross-figure
         :class:`~repro.experiments.orchestrator.SweepOrchestrator`.
+
+        Like :meth:`_execute_jobs`, a failure raises
+        :class:`SweepExecutionError` whose ``partial`` carries the
+        ``(sim results, smt results)`` completed so far.
         """
-        sim_results = {(job.config_name, job.workload): self._simulate_job(job)
-                       for job in jobs}
-        smt_results = {(job.config_name, job.pair): self._simulate_smt_job(job)
-                       for job in smt_jobs}
+        sim_results: Dict[Tuple[str, str], SimulationResult] = {}
+        smt_results: Dict[Tuple[str, Tuple[str, str]], SmtResult] = {}
+        self.health.jobs += len(jobs) + len(smt_jobs)
+        try:
+            for job in jobs:
+                self.health.attempts += 1
+                sim_results[(job.config_name, job.workload)] = \
+                    self._simulate_job(job)
+            for smt_job in smt_jobs:
+                self.health.attempts += 1
+                smt_results[(smt_job.config_name, smt_job.pair)] = \
+                    self._simulate_smt_job(smt_job)
+        except Exception as exc:
+            raise self._wave_failure(exc, sim_results, smt_results,
+                                     jobs, smt_jobs) from exc
         return sim_results, smt_results
+
+    def _wave_failure(self, exc: BaseException,
+                      sim_results: Dict[Tuple[str, str], SimulationResult],
+                      smt_results: Dict[Tuple[str, Tuple[str, str]], SmtResult],
+                      jobs: Sequence[SimulationJob],
+                      smt_jobs: Sequence[SmtJob]) -> "SweepExecutionError":
+        """Build the partial-carrying error for a serial wave failure."""
+        label = "wave"
+        for job in jobs:
+            if (job.config_name, job.workload) not in sim_results:
+                label = sim_job_label(job)
+                break
+        else:
+            for smt_job in smt_jobs:
+                if (smt_job.config_name, smt_job.pair) not in smt_results:
+                    label = smt_job_label(smt_job)
+                    break
+        letter = self._dead_letter(label, error=exc)
+        error = SweepExecutionError([letter], self.health)
+        error.partial = (sim_results, smt_results)
+        return error
 
     def _stage_cached_jobs(self, jobs: Sequence[SimulationJob]
                            ) -> Tuple[Dict[str, SimulationResult], List[SimulationJob]]:
@@ -377,7 +549,16 @@ class ExperimentRunner:
         jobs = self.plan_jobs(name, config, workload_names)
         staged, outstanding = self._stage_cached_jobs(jobs)
         if outstanding:
-            staged.update(self._execute_jobs(outstanding))
+            try:
+                staged.update(self._execute_jobs(outstanding))
+            except SweepExecutionError as error:
+                # Journal the failed sweep's successes to the on-disk cache
+                # (never the in-memory store — the atomic-commit contract
+                # holds) so a rerun re-executes only the missing jobs.
+                partial = error.partial if isinstance(error.partial, dict) else {}
+                self._journal_partial({job.cache_key: partial.get(job.workload)
+                                       for job in outstanding}, smt=False)
+                raise
         missing = [job.workload for job in jobs if job.workload not in staged]
         if missing:
             raise RuntimeError(
@@ -407,6 +588,28 @@ class ExperimentRunner:
             results[workload_name] = run.results[name]
         return results
 
+    def _journal_partial(self, by_key: Dict[Optional[str], object],
+                         smt: bool) -> None:
+        """Best-effort commit of a failed sweep's successes to the disk cache.
+
+        Runs on the error path, so every cache I/O failure is absorbed — a
+        full disk must never mask the execution error being propagated.  The
+        in-memory stores are deliberately untouched: partial results are a
+        *journal* for resume, not a committed sweep.
+        """
+        if self.cache is None:
+            return
+        for key, result in by_key.items():
+            if key is None or result is None:
+                continue
+            try:
+                if smt:
+                    self.cache.put_smt(key, result)
+                else:
+                    self.cache.put(key, result)
+            except OSError:
+                pass
+
     # ---------------------------------------------------------------- lifecycle
 
     def close(self) -> None:
@@ -415,8 +618,17 @@ class ExperimentRunner:
         The flush is what makes ``repro cache stats`` see this process's
         hit/miss counters after the run is gone; it writes only deltas, so
         closing a runner repeatedly (context manager plus explicit call)
-        never double-counts.
+        never double-counts.  Supervision health counters flush the same way
+        (class ``SweepSupervisor`` in the ledger), so retry/timeout/dead-letter
+        rates are visible cross-process too.
         """
+        if self.cache is not None:
+            counters = self.health.counters()
+            delta = {name: value - self._flushed_health.get(name, 0)
+                     for name, value in counters.items()}
+            if any(delta.values()):
+                persist_health_stats(self.cache.directory, delta)
+                self._flushed_health = counters
         for cache in (self.cache, self.report_cache):
             if cache is not None:
                 cache.persist_stats()
@@ -526,9 +738,21 @@ class ExperimentRunner:
         """Simulate every planned SMT job serially; subclasses override to shard.
 
         Results are keyed by pair, so merging is independent of execution
-        order.
+        order.  Failures follow the :meth:`_execute_jobs` contract: a
+        :class:`SweepExecutionError` with the completed pairs in ``partial``.
         """
-        return {job.pair: self._simulate_smt_job(job) for job in jobs}
+        results: Dict[Tuple[str, str], SmtResult] = {}
+        for job in jobs:
+            self.health.jobs += 1
+            self.health.attempts += 1
+            try:
+                results[job.pair] = self._simulate_smt_job(job)
+            except Exception as exc:
+                letter = self._dead_letter(smt_job_label(job), error=exc)
+                error = SweepExecutionError([letter], self.health)
+                error.partial = results
+                raise error from exc
+        return results
 
     def _stage_cached_smt_jobs(self, jobs: Sequence[SmtJob]
                                ) -> Tuple[Dict[Tuple[str, str], SmtResult], List[SmtJob]]:
@@ -564,7 +788,14 @@ class ExperimentRunner:
             jobs = [job for job in jobs if job.pair in owned]
         staged, outstanding = self._stage_cached_smt_jobs(jobs)
         if outstanding:
-            staged.update(self._execute_smt_jobs(outstanding))
+            try:
+                staged.update(self._execute_smt_jobs(outstanding))
+            except SweepExecutionError as error:
+                # Same resume-journal contract as run_config: disk cache only.
+                partial = error.partial if isinstance(error.partial, dict) else {}
+                self._journal_partial({job.cache_key: partial.get(job.pair)
+                                       for job in outstanding}, smt=True)
+                raise
         missing = [job.pair for job in jobs if job.pair not in staged]
         if missing:
             raise RuntimeError(

@@ -1,8 +1,9 @@
 """Seeded-bad fixture for RL002: impure cache-key material, marked.
 
 Covers the direct case (a key function reading the environment), the
-depth-one callgraph case (a non-seed helper the key function calls), and the
-engine-leak case (an ``engine``-named attribute inside fingerprint code).
+depth-one callgraph case (a non-seed helper the key function calls), the
+engine-leak case (an ``engine``-named attribute inside fingerprint code),
+and the supervision-leak case (a retry knob inside identity material).
 """
 
 import hashlib
@@ -24,3 +25,7 @@ class ResultCache:
 
 def config_fingerprint(config) -> dict:
     return {"engine": config.engine, "width": config.width}  # expect[RL002]
+
+
+def _sim_identity(job) -> str:
+    return f"{job.workload}:{job.retry_budget}"  # expect[RL002]

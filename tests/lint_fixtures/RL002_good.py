@@ -27,3 +27,9 @@ def cache_dir() -> str:
     # Environment reads are fine OUTSIDE key functions: where the cache
     # lives on disk is allowed to vary per host, what it is keyed by is not.
     return os.environ.get("XDG_CACHE_HOME", "/tmp")
+
+
+def supervisor_defaults(max_retries: int = 2, job_timeout=None) -> dict:
+    # Fault/retry/timeout knobs are likewise fine OUTSIDE key functions:
+    # how a job is supervised may vary per run, what it computes may not.
+    return {"max_retries": max_retries, "job_timeout": job_timeout}

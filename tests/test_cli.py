@@ -229,10 +229,15 @@ def test_cache_stats_reports_cross_run_hit_rates(tmp_path, capsys):
     assert counters["total"]["stores"] == len(SUITES) * 2
     assert counters["total"]["hits"] >= len(SUITES) * 2, \
         "the warm rerun's hits must be visible to a later process"
-    # Orchestrated sweeps also stream their wave's dedup stats in.
+    # Orchestrated sweeps also stream their wave's dedup stats in, and the
+    # supervisor flushes its health counters alongside them.
     assert set(counters["by_cache"]) == {"ResultCache", "ReportCache",
-                                         "SweepOrchestrator"}
+                                         "SweepOrchestrator", "SweepSupervisor"}
     assert counters["dedup"]["waves"] == 2
+    # Only the cold run supervised jobs; the warm rerun's delta is all-zero
+    # and deliberately not flushed.
+    assert counters["health"]["runs"] == 1
+    assert counters["health"]["jobs"] > 0
 
     capsys.readouterr()
     assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0

@@ -69,9 +69,9 @@ _ENV_DOC = """# Environment variables
 """
 
 #: Version-source stubs for the synthetic RL003 tree (same constants the
-#: real modules define, so the manifest records 1/3 like the committed one).
+#: real modules define, so the manifest records 1/4 like the committed one).
 _CACHE_STUB = '"""Stub version source."""\n\nSCHEMA_VERSION = 1\n'
-_BENCH_STUB = '"""Stub version source."""\n\nBENCH_SCHEMA_VERSION = 3\n'
+_BENCH_STUB = '"""Stub version source."""\n\nBENCH_SCHEMA_VERSION = 4\n'
 
 
 def _write(root: Path, rel: str, text: str) -> Path:
@@ -303,11 +303,17 @@ def test_cache_fingerprint_ignores_engine_and_runtime_env(tmp_path, monkeypatch)
     monkeypatch.setenv("REPRO_CORE_ENGINE", "cycle")
     monkeypatch.delenv("REPRO_BENCH_REPS", raising=False)
     monkeypatch.delenv("REPRO_ORCHESTRATE", raising=False)
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+    monkeypatch.delenv("REPRO_MAX_RETRIES", raising=False)
+    monkeypatch.delenv("REPRO_JOB_TIMEOUT", raising=False)
     reference = key()
 
     monkeypatch.setenv("REPRO_CORE_ENGINE", "event")
     monkeypatch.setenv("REPRO_BENCH_REPS", "9")
     monkeypatch.setenv("REPRO_ORCHESTRATE", "1")
+    monkeypatch.setenv("REPRO_FAULT_PLAN", '{"sim:*": {"kind": "raise"}}')
+    monkeypatch.setenv("REPRO_MAX_RETRIES", "7")
+    monkeypatch.setenv("REPRO_JOB_TIMEOUT", "1.5")
     assert key() == reference
 
 
