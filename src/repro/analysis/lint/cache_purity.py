@@ -45,6 +45,7 @@ SCOPE_FILES = (
     "src/repro/experiments/orchestrator.py",
     "src/repro/experiments/faults.py",
     "src/repro/experiments/parallel.py",
+    "src/repro/experiments/warehouse.py",
 )
 
 #: Exact function names treated as cache-key seeds wherever they appear.

@@ -50,6 +50,7 @@ SERIALIZED_MODULES = (
     "src/repro/pipeline/smt.py",
     "src/repro/workloads/suites.py",
     "src/repro/experiments/orchestrator.py",
+    "src/repro/experiments/warehouse.py",
     "src/repro/analysis/load_inspector.py",
 )
 
@@ -59,6 +60,8 @@ VERSION_SOURCES = {
     "schema_version": ("src/repro/experiments/cache.py", "SCHEMA_VERSION"),
     "bench_schema_version": ("src/repro/experiments/bench.py",
                              "BENCH_SCHEMA_VERSION"),
+    "warehouse_schema_version": ("src/repro/experiments/warehouse.py",
+                                 "WAREHOUSE_SCHEMA_VERSION"),
 }
 
 

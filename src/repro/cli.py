@@ -6,6 +6,19 @@ Subcommands:
   directory: entry counts and bytes by kind, LRU eviction to a cap, full
   clears, and integrity verification (corrupt/stale/orphan detection against
   the current ``SCHEMA_VERSION``; non-zero exit when anything is wrong).
+  ``stats`` and ``gc`` also report/compact the columnar results warehouse
+  under ``<dir>/.warehouse/``.
+* ``repro query`` — aggregate cached results from the columnar warehouse
+  (zero object-store decodes when warehouse files exist; falls back to a
+  full object-store scan otherwise): filter by family/suite/config/workload,
+  ``--metric``/``--agg``/``--group-by`` for geomean/median-style rollups,
+  ``--speedup-over baseline`` for cross-sweep speedup tables, ``--json``
+  for the machine-readable form.
+* ``repro warehouse rebuild|compact|verify`` — regenerate the warehouse from
+  the object store (lossless migration of pre-warehouse caches), fold its
+  append-only row files into one columnar segment, and check that the
+  warehouse agrees with the cache journal (exit 1 when any journaled entry
+  lacks a row; ``--strict`` also fails on rows whose entries were evicted).
 * ``repro sweep`` — run the paper's configuration sweep through the shared
   plan → filter-by-shard → execute → commit pipeline.  ``--shard K/N``
   deterministically restricts execution to shard K of N, so N hosts pointed
@@ -68,11 +81,25 @@ from repro.experiments.bench import (
 from repro.experiments.cache import (
     CACHE_DIR_ENV,
     DEFAULT_CACHE_DIR,
+    SCHEMA_VERSION,
     CacheVerifyReport,
     ReportCache,
     ResultCache,
     compact_persisted_stats,
     persisted_cache_stats,
+)
+from repro.experiments.warehouse import (
+    QUERY_AGGREGATES,
+    QUERY_METRICS,
+    aggregate_rows,
+    compact_warehouse,
+    filter_rows,
+    load_rows,
+    rebuild_warehouse,
+    speedup_summary,
+    verify_warehouse,
+    warehouse_present,
+    warehouse_stats,
 )
 from repro.experiments.figures import (
     FIGURE_HARNESSES,
@@ -279,6 +306,19 @@ def _print_failure_summary(error: SweepExecutionError) -> None:
           "execute only the missing ones", file=sys.stderr)
 
 
+def _print_warehouse_summary(summary: Dict[str, object]) -> None:
+    """One ``cache stats`` block describing the columnar warehouse."""
+    if not summary["present"]:
+        print("warehouse       : absent (queries fall back to the object "
+              "store; run `repro warehouse rebuild` to build it)")
+        return
+    print(f"warehouse       : {summary['rows']} rows in "
+          f"{summary['segments']} segment(s) + {summary['row_files']} row "
+          f"file(s) ({_human_bytes(summary['total_bytes'])})")
+    for kind in sorted(summary["by_kind"]):
+        print(f"  {kind:<14}: {summary['by_kind'][kind]} rows")
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(_resolve_cache_dir(args.cache_dir))
     if args.cache_command == "stats":
@@ -286,13 +326,18 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         # directories; `cache verify` is the full-decode integrity pass.
         report = cache.verify(decode_bodies=False)
         counters = persisted_cache_stats(cache.directory)
+        # Warehouse summary reads columnar files only — never entry bodies —
+        # so stats stays cheap however large the object store is.
+        wh_summary = warehouse_stats(cache.directory)
         if args.json:
             payload = report.as_dict()
             payload["persisted_counters"] = counters
+            payload["warehouse"] = wh_summary
             print(json.dumps(payload, indent=2, sort_keys=True))
         else:
             _print_verify_report(report, as_json=False)
             _print_persisted_counters(counters)
+            _print_warehouse_summary(wh_summary)
         return 0
     if args.cache_command == "gc":
         max_mb = args.max_mb if args.max_mb is not None else cache.max_mb
@@ -310,6 +355,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         # fold the accumulated per-run ledgers so their count stays bounded.
         cache.persist_stats()
         compact_persisted_stats(cache.directory)
+        # Fold the warehouse's per-process row files too: gc is the natural
+        # "keep the shared directory tidy" entry point for both ledgers.
+        compact_warehouse(cache.directory)
         print(f"evicted {len(removed)} entries; "
               f"{len(cache)} remain ({_human_bytes(cache.total_bytes())})")
         return 0
@@ -324,6 +372,133 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             return 1
         return 0
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
+
+
+def _query_rows(args: argparse.Namespace):
+    """Resolve, filter and return warehouse rows for ``repro query``.
+
+    Reads the columnar warehouse when present (zero object-store decodes) and
+    falls back to a full object-store scan otherwise, so the command works on
+    caches written before the warehouse existed.
+    """
+    directory = _resolve_cache_dir(args.cache_dir)
+    if args.engine is not None and args.engine not in CORE_ENGINES:
+        raise SystemExit(f"unknown engine {args.engine!r}; available: "
+                         f"{list(CORE_ENGINES)} (note: engines are verified "
+                         "bit-identical, so this filter never changes which "
+                         "rows are selected)")
+    configs = None
+    if args.family:
+        configs = set(_sweep_families(args.family))
+    rows = load_rows(directory, SCHEMA_VERSION)
+    return filter_rows(rows, kind=args.kind, suite=args.suite,
+                       config=args.config, workload=args.workload,
+                       configs=configs)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Aggregate cached results from the warehouse (``repro query``)."""
+    rows = _query_rows(args)
+    if args.speedup_over is not None:
+        summary = speedup_summary(rows, baseline=args.speedup_over,
+                                  group_by=args.group_by)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        if not summary:
+            print(f"no speedups computable against {args.speedup_over!r} "
+                  f"({len(rows)} rows selected)")
+            return 0
+        groups = sorted({group for block in summary.values()
+                         for group in block} - {"GEOMEAN"})
+        headers = ["config"] + groups + ["GEOMEAN"]
+        table_rows = [[config] + [
+            f"{block[g]:.6g}" if g in block else "-"
+            for g in groups + ["GEOMEAN"]]
+            for config, block in sorted(summary.items())]
+        print(format_table(headers, table_rows,
+                           title=f"speedup over {args.speedup_over}"))
+        return 0
+    if args.metric is not None:
+        values = aggregate_rows(rows, args.metric, agg=args.agg,
+                                group_by=args.group_by)
+        if args.json:
+            print(json.dumps(values, indent=2, sort_keys=True))
+            return 0
+        label = args.group_by or "group"
+        table_rows = [[group, f"{value:.6g}"]
+                      for group, value in sorted(values.items())]
+        print(format_table([label, f"{args.agg} {args.metric}"], table_rows,
+                           title=f"{len(rows)} rows"))
+        return 0
+    # Default: one overview line per config from the flat rows alone.
+    by_config = aggregate_rows(rows, "ipc", agg="count", group_by="config")
+    if args.json:
+        overview = {
+            config: {
+                "rows": int(count),
+                "geomean_ipc": aggregate_rows(
+                    filter_rows(rows, config=config), "ipc")["all"],
+                "geomean_coverage": aggregate_rows(
+                    filter_rows(rows, config=config), "coverage")["all"],
+            } for config, count in sorted(by_config.items())
+        }
+        print(json.dumps(overview, indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print("no rows selected (empty cache, or filters matched nothing)")
+        return 0
+    table_rows = []
+    for config, count in sorted(by_config.items()):
+        subset = filter_rows(rows, config=config)
+        ipc = aggregate_rows(subset, "ipc")["all"]
+        cov = aggregate_rows(subset, "coverage")["all"]
+        power = aggregate_rows(subset, "power", agg="median")["all"]
+        table_rows.append([config, str(int(count)), f"{ipc:.6g}",
+                           f"{cov:.6g}", f"{power:.6g}"])
+    print(format_table(
+        ["config", "rows", "geomean ipc", "geomean coverage", "median power"],
+        table_rows, title=f"{len(rows)} rows"))
+    return 0
+
+
+def _cmd_warehouse(args: argparse.Namespace) -> int:
+    """Maintain the columnar warehouse: rebuild, compact, verify."""
+    directory = _resolve_cache_dir(args.cache_dir)
+    if args.warehouse_command == "rebuild":
+        try:
+            rows, replaced = rebuild_warehouse(directory, SCHEMA_VERSION)
+        except OSError as error:
+            print(f"rebuild failed: {error}", file=sys.stderr)
+            return 1
+        print(f"rebuilt warehouse: {rows} rows "
+              f"(replaced {replaced} warehouse file(s))")
+        return 0
+    if args.warehouse_command == "compact":
+        removed = compact_warehouse(directory)
+        summary = warehouse_stats(directory)
+        print(f"compacted: folded {removed} file(s); {summary['rows']} rows "
+              f"in {summary['segments']} segment(s)")
+        return 0
+    if args.warehouse_command == "verify":
+        report = verify_warehouse(directory, SCHEMA_VERSION)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(f"journal entries : {report['entries']}")
+            print(f"warehouse rows  : {report['rows']}")
+            print(f"missing rows    : {len(report['missing'])}")
+            print(f"extra rows      : {len(report['extra'])}"
+                  + (" (entries evicted; benign)" if report["extra"] else ""))
+            for key in report["missing"]:
+                print(f"  missing: {key}")
+        if report["missing"]:
+            return 1
+        if args.strict and report["extra"]:
+            return 1
+        return 0
+    raise AssertionError(
+        f"unhandled warehouse command {args.warehouse_command!r}")
 
 
 def _parse_config_subset(raw: Optional[str], available: Dict[str, object],
@@ -575,6 +750,62 @@ def build_parser() -> argparse.ArgumentParser:
                         help="delete every flagged file")
     verify.add_argument("--json", action="store_true", help="machine-readable output")
 
+    query = commands.add_parser(
+        "query", help="aggregate cached results from the columnar warehouse "
+                      "(object-store fallback when no warehouse exists)")
+    _add_cache_dir_argument(query)
+    query.add_argument("--kind", choices=["result", "smt"], default=None,
+                       help="restrict to single-thread or SMT rows")
+    query.add_argument("--family", default=None,
+                       help="restrict to a sweep family's configs "
+                            f"({', '.join(sorted(SWEEP_FAMILIES))}, "
+                            "comma-separable, or 'all')")
+    query.add_argument("--suite", default=None,
+                       help="restrict to one workload suite "
+                            f"({', '.join(SUITE_NAMES)})")
+    query.add_argument("--config", default=None,
+                       help="restrict to one config label")
+    query.add_argument("--workload", default=None,
+                       help="restrict to one workload name")
+    query.add_argument("--engine", default=None,
+                       help="validated for symmetry with sweep filters; rows "
+                            "are engine-independent (engines are verified "
+                            "bit-identical), so this never changes selection")
+    query.add_argument("--metric", choices=list(QUERY_METRICS), default=None,
+                       help="aggregate this column instead of the overview")
+    query.add_argument("--agg", choices=sorted(QUERY_AGGREGATES),
+                       default="geomean",
+                       help="aggregation for --metric (default: geomean)")
+    query.add_argument("--group-by",
+                       choices=["suite", "config", "workload", "kind"],
+                       default=None, help="group the aggregate by this column")
+    query.add_argument("--speedup-over", default=None, metavar="BASELINE",
+                       help="per-config geomean speedup table against this "
+                            "baseline config (joined per workload+budget)")
+    query.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+
+    warehouse = commands.add_parser(
+        "warehouse", help="maintain the columnar results warehouse "
+                          "(<cache-dir>/.warehouse/)")
+    warehouse_commands = warehouse.add_subparsers(dest="warehouse_command",
+                                                  required=True)
+    rebuild = warehouse_commands.add_parser(
+        "rebuild", help="regenerate every warehouse row from the object store "
+                        "(lossless migration of pre-warehouse caches)")
+    _add_cache_dir_argument(rebuild)
+    compact = warehouse_commands.add_parser(
+        "compact", help="fold append-only row files into one columnar segment")
+    _add_cache_dir_argument(compact)
+    wverify = warehouse_commands.add_parser(
+        "verify", help="check warehouse/journal agreement (exit 1 when a "
+                       "journaled entry has no warehouse row)")
+    _add_cache_dir_argument(wverify)
+    wverify.add_argument("--strict", action="store_true",
+                         help="also fail on rows whose entries were evicted")
+    wverify.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+
     sweep = commands.add_parser(
         "sweep", help="run the configuration sweep (optionally one shard of N)")
     _add_runner_arguments(sweep)
@@ -670,6 +901,10 @@ def build_parser() -> argparse.ArgumentParser:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "warehouse":
+        return _cmd_warehouse(args)
     if args.command == "sweep":
         try:
             return _cmd_sweep(args)

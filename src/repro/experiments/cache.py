@@ -60,6 +60,8 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.analysis.load_inspector import GlobalStableReport
+from repro.experiments.warehouse import (WarehouseWriter, clear_warehouse,
+                                         row_for_result, row_for_smt)
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.smt import SMT_SECOND_THREAD_BASE_PC, SmtResult
 from repro.pipeline.stats import SimulationResult
@@ -736,6 +738,10 @@ class JsonDiskCache:
                 removed += 1
             except OSError:
                 pass
+        # A cleared store must not leave warehouse rows describing entries
+        # that no longer exist (the rows-without-entries case ``repro
+        # warehouse verify --strict`` flags).
+        removed += clear_warehouse(self.directory)
         return removed
 
     #: ``*.tmp`` files younger than this are assumed to belong to a live
@@ -817,7 +823,27 @@ class JsonDiskCache:
 
 
 class ResultCache(JsonDiskCache):
-    """Content-addressed store of :class:`SimulationResult` / :class:`SmtResult`."""
+    """Content-addressed store of :class:`SimulationResult` / :class:`SmtResult`.
+
+    Every successful :meth:`put`/:meth:`put_smt` also appends one flat
+    analytics row to the columnar warehouse under ``.warehouse/`` (see
+    :mod:`repro.experiments.warehouse`).  Because all cache writes are
+    parent-side — the serial runner's commit loop, the parallel runner's
+    result drain, orchestrated wave commits, partial-wave journals and
+    ``--resume`` re-execution all funnel through these two methods — the
+    warehouse stays in lockstep with the resume journal by construction.
+    The row is appended *after* the entry write succeeds, so the warehouse
+    can trail the journal by at most the in-flight put (repaired by ``repro
+    warehouse rebuild``) but never lists a row for an entry that was never
+    committed.  Row appends absorb I/O errors and can be disabled with
+    ``REPRO_WAREHOUSE=0``; they are analytics, never correctness.
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None,
+                 schema_version: int = SCHEMA_VERSION,
+                 max_mb: Optional[float] = None):
+        super().__init__(directory, schema_version, max_mb)
+        self.warehouse = WarehouseWriter(self.directory)
 
     # ------------------------------------------------------- single-thread keys
 
@@ -854,6 +880,7 @@ class ResultCache(JsonDiskCache):
         """Store ``result`` under ``key`` atomically (temp file + rename)."""
         self._write_payload(key, {"schema": self.schema_version, "key": key,
                                   "result": result.to_dict()})
+        self.warehouse.append(row_for_result(key, result, self.schema_version))
 
     # ----------------------------------------------------------------- SMT keys
 
@@ -892,6 +919,7 @@ class ResultCache(JsonDiskCache):
         """Store an :class:`SmtResult` under ``key`` atomically."""
         self._write_payload(key, {"schema": self.schema_version, "kind": "smt",
                                   "key": key, "result": result.to_dict()})
+        self.warehouse.append(row_for_smt(key, result, self.schema_version))
 
 
 class ReportCache(JsonDiskCache):

@@ -13,6 +13,7 @@ expected to hold.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.load_inspector import inspect_trace
@@ -32,8 +33,11 @@ from repro.experiments.configs import (
     rfp_config,
     rfp_constable_config,
 )
-from repro.experiments.cache import ReportCache, ResultCache
+from repro.experiments.cache import (CACHE_DIR_ENV, DEFAULT_CACHE_DIR,
+                                     SCHEMA_VERSION, ReportCache, ResultCache)
 from repro.experiments.parallel import ParallelExperimentRunner
+from repro.experiments.warehouse import (load_rows, speedup_summary,
+                                         warehouse_present)
 from repro.experiments.reporting import format_table, per_suite_table
 from repro.experiments.runner import ConfigLike, ExperimentRunner
 from repro.isa.instruction import AddressingMode
@@ -664,6 +668,34 @@ def table3_energy_estimates(use_calibrated: bool = True) -> Dict[str, object]:
                 title="Table 3: Constable structure energy/area estimates")}
 
 
+def warehouse_speedup_summary(cache_dir: Optional[str] = None
+                              ) -> Dict[str, object]:
+    """Cross-sweep geomean speedups straight from the columnar warehouse.
+
+    Unlike the per-figure harnesses this aggregates *every* cached sweep in
+    the directory at once — exactly the cross-sweep analytics the warehouse
+    exists for.  With warehouse files present the read is tabular-only (zero
+    object-store decodes); a pre-warehouse cache falls back to the full
+    object-store scan, so the harness works either way.  Addressable as
+    ``repro figures warehouse``; the cache directory resolves like every
+    other command (``REPRO_CACHE_DIR``, then ``.repro-cache``).
+    """
+    directory = (cache_dir or os.environ.get(CACHE_DIR_ENV)
+                 or DEFAULT_CACHE_DIR)
+    rows = load_rows(directory, SCHEMA_VERSION)
+    tabular = warehouse_present(directory)
+    summary = speedup_summary(rows, group_by="suite")
+    suites = sorted({group for block in summary.values()
+                     for group in block} - {"GEOMEAN"})
+    table_rows = [[config] + [f"{block[s]:.4f}" if s in block else "-"
+                              for s in suites + ["GEOMEAN"]]
+                  for config, block in sorted(summary.items())]
+    source = "warehouse" if tabular else "object store (no warehouse)"
+    return {"rows": len(rows), "tabular": tabular, "speedups": summary,
+            "text": format_table(["config"] + suites + ["GEOMEAN"], table_rows,
+                                 title=f"cross-sweep speedups [{source}]")}
+
+
 # ============================================================ registries (CLI)
 
 #: Every figure harness that consumes a shared :class:`ExperimentRunner`,
@@ -693,6 +725,7 @@ STANDALONE_HARNESSES: Dict[str, Callable[[], Dict[str, object]]] = {
     "fig23": fig23_fig24_apx_study,
     "table1": table1_storage_overhead,
     "table3": table3_energy_estimates,
+    "warehouse": warehouse_speedup_summary,
 }
 
 

@@ -279,7 +279,14 @@ class SweepOrchestrator:
                               outstanding_sim: Sequence[Tuple[str, SimulationJob]],
                               outstanding_smt: Sequence[Tuple[str, SmtJob]]
                               ) -> None:
-        """Best-effort cache journal of a failed wave's completed jobs."""
+        """Best-effort cache journal of a failed wave's completed jobs.
+
+        The puts below also append each journaled entry's columnar warehouse
+        row (inside ``cache.put``/``put_smt``), so after a chaos-faulted wave
+        the warehouse lists exactly the journaled jobs — which is what lets
+        ``repro warehouse verify`` assert journal agreement before and after
+        a ``--resume``.
+        """
         runner = self.runner
         if runner.cache is None or not isinstance(error.partial, tuple):
             return

@@ -298,7 +298,11 @@ class ParallelExperimentRunner(ExperimentRunner):
     the on-disk :class:`ResultCache`/:class:`ReportCache` protocols — is
     inherited from the serial runner, so the two are drop-in interchangeable
     anywhere an :class:`ExperimentRunner` is accepted (figure harnesses,
-    benchmarks, examples).
+    benchmarks, examples).  In particular every cache write stays
+    parent-side: workers return results over the pool and the inherited
+    commit loop calls ``cache.put``/``put_smt`` here, which is also what
+    appends each entry's columnar warehouse row — N workers never contend on
+    the warehouse, and its rows stay in lockstep with the resume journal.
 
     ``max_retries`` bounds how many times a failed job is resubmitted to the
     pool (``REPRO_MAX_RETRIES``, default 2); ``job_timeout`` abandons any

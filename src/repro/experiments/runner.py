@@ -565,7 +565,11 @@ class ExperimentRunner:
                 f"executor returned no result for workloads {missing!r} of config {name!r}")
         # Commit only after every job succeeded — and before the disk-store
         # writes, so a cache I/O failure (disk full, permissions) cannot throw
-        # away an entire successfully simulated sweep.
+        # away an entire successfully simulated sweep.  The disk puts below
+        # are also what append each entry's columnar warehouse row: every
+        # commit path (serial, parallel, orchestrated, journaled) funnels
+        # through cache.put/put_smt, which keeps the warehouse in lockstep
+        # with the journal without any per-path wiring.
         workloads = self.workloads()
         for workload_name, result in staged.items():
             workloads[workload_name].results[name] = result
@@ -595,7 +599,10 @@ class ExperimentRunner:
         Runs on the error path, so every cache I/O failure is absorbed — a
         full disk must never mask the execution error being propagated.  The
         in-memory stores are deliberately untouched: partial results are a
-        *journal* for resume, not a committed sweep.
+        *journal* for resume, not a committed sweep.  Each journaled put also
+        appends the entry's columnar warehouse row (inside ``cache.put``), so
+        the warehouse agrees with the journal even on the failure path — a
+        ``--resume`` of this sweep finds both in lockstep.
         """
         if self.cache is None:
             return

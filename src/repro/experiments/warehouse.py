@@ -1,0 +1,848 @@
+"""Columnar results warehouse over the content-addressed object cache.
+
+The object store under a cache directory holds one JSON blob per simulation
+(:mod:`repro.experiments.cache`), which is the right shape for *replaying* a
+result but the wrong shape for *analytics*: every ``repro cache stats`` or
+cross-sweep aggregation ("geomean speedup by suite across all cached sweeps")
+would otherwise re-decode thousands of full per-entry payloads.  This module
+maintains a flat, engine-independent table of per-result rows next to the
+object store, so aggregation reads columns instead of blobs:
+
+* **Write path.**  :class:`ResultCache.put`/``put_smt`` (``cache.py``) append
+  one :class:`WarehouseRow` per committed entry through a
+  :class:`WarehouseWriter` — an append-only JSONL file per process under
+  ``<cache-dir>/.warehouse/``.  Every commit path funnels through those two
+  methods (serial and parallel runners, orchestrated waves, partial-wave
+  journals, ``--resume`` re-execution), so the warehouse can never disagree
+  with the cache journal: a journaled entry and its row are written by the
+  same ``put`` call.  Appends are observability-grade: I/O failures are
+  absorbed, and ``REPRO_WAREHOUSE=0`` disables them entirely.
+* **Compaction.**  :func:`compact_warehouse` folds the accumulated row files
+  into one columnar segment (struct-of-arrays JSON, ``*.whseg``), crash-safely
+  mirroring the stats ledger: an ``O_EXCL`` lock serialises compactors, the
+  output lists the sources it ``folded`` so readers exclude leftover
+  originals, and a failed write rolls back to the originals.
+* **Rebuild.**  :func:`rebuild_warehouse` regenerates every row from the
+  object store itself (``repro warehouse rebuild``), so pre-warehouse caches
+  migrate losslessly.  Row derivation is a pure function of ``(key, entry
+  payload)`` — identical on the write path and the rebuild path — which is
+  what the differential suite in ``tests/test_warehouse.py`` proves
+  bit-for-bit.
+* **Read path.**  :func:`load_rows` serves ``repro query``, ``repro cache
+  stats`` and the ``warehouse`` figure harness from the columnar files alone
+  (zero object-store decodes); when no warehouse files exist it falls back to
+  an in-memory object-store scan, so analytics never require a migration
+  first.
+
+File suffixes are deliberately never ``.json``: the object store's entry
+scans glob ``*/*.json`` and must not mistake warehouse files for entries,
+exactly like the ``.stats`` ledger files.
+
+Bump :data:`WAREHOUSE_SCHEMA_VERSION` whenever the row layout changes;
+RL003 pins :meth:`WarehouseRow.to_dict`'s key set against it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import fcntl
+import json
+import os
+import tempfile
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.stats_utils import filtered_geomean, median
+from repro.pipeline.smt import SmtResult
+from repro.pipeline.stats import SimulationResult
+from repro.power.power_model import CorePowerModel
+from repro.workloads.suites import get_workload_spec
+
+#: Subdirectory of a cache directory holding the columnar warehouse files.
+WAREHOUSE_SUBDIR = ".warehouse"
+
+#: Version of the warehouse row/segment layout; bump on any row-shape change
+#: (RL003 gates :meth:`WarehouseRow.to_dict` drift on this constant).
+WAREHOUSE_SCHEMA_VERSION = 1
+
+#: Environment variable disabling warehouse appends (``0``/``false``/``no``/
+#: ``off``).  Reads stay available either way; the rebuild command restores a
+#: warehouse that was written with appends off.
+WAREHOUSE_ENV = "REPRO_WAREHOUSE"
+
+#: Suffix of live append-only row files (one JSON object per line).
+_ROWS_SUFFIX = ".rows.jsonl"
+
+#: Suffix of columnar segment files (struct-of-arrays JSON).
+_SEGMENT_SUFFIX = ".whseg"
+
+#: A compaction lock older than this is from a dead compactor and may be broken.
+_COMPACT_LOCK_STALE_SECONDS = 3600.0
+
+#: Column order of the flat row schema.  ``key`` is the cache key (already
+#: engine-independent by the RL002 purity contract), ``schema`` the
+#: ``SCHEMA_VERSION`` of the source cache entry.
+ROW_COLUMNS = ("key", "kind", "workload", "suite", "config", "cycles",
+               "instructions", "ipc", "coverage", "power", "l1d_accesses",
+               "schema")
+
+#: Metrics ``repro query`` can aggregate (numeric row columns).
+QUERY_METRICS = ("ipc", "cycles", "instructions", "coverage", "power",
+                 "l1d_accesses")
+
+
+@dataclasses.dataclass
+class WarehouseRow:
+    """One flat, engine-independent analytics row per cached result.
+
+    Every field derives purely from the cache key and the entry payload, so
+    the write path (live result object) and :func:`rebuild_warehouse`
+    (decoded payload) produce bit-identical rows.
+    """
+
+    key: str
+    kind: str
+    workload: str
+    suite: str
+    config: str
+    cycles: int
+    instructions: int
+    ipc: float
+    coverage: float
+    power: float
+    l1d_accesses: int
+    schema: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """The row as a plain dictionary (JSONL/columnar form)."""
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "workload": self.workload,
+            "suite": self.suite,
+            "config": self.config,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "coverage": self.coverage,
+            "power": self.power,
+            "l1d_accesses": self.l1d_accesses,
+            "schema": self.schema,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WarehouseRow":
+        """Rebuild a row from :meth:`to_dict` output (missing keys raise)."""
+        return cls(
+            key=str(data["key"]),
+            kind=str(data["kind"]),
+            workload=str(data["workload"]),
+            suite=str(data["suite"]),
+            config=str(data["config"]),
+            cycles=int(data["cycles"]),
+            instructions=int(data["instructions"]),
+            ipc=float(data["ipc"]),
+            coverage=float(data["coverage"]),
+            power=float(data["power"]),
+            l1d_accesses=int(data["l1d_accesses"]),
+            schema=int(data["schema"]),
+        )
+
+
+# ------------------------------------------------------------- row derivation
+
+
+def suite_of(workload: str) -> str:
+    """The suite label a workload name resolves to via the registry.
+
+    SMT pair names (``a+b``) resolve each thread and join with ``+``.  Names
+    outside the registry — custom specs constructed in tests — resolve to the
+    empty string.  Both the write path and the rebuild path derive suites
+    through this one function, so the two can never disagree on a row.
+    """
+    suites = []
+    for part in workload.split("+"):
+        try:
+            suites.append(get_workload_spec(part).suite)
+        except KeyError:
+            suites.append("")
+    return "+".join(suites) if any(suites) else ""
+
+
+def _coverage_of(result: SimulationResult) -> float:
+    """Fraction of renamed loads eliminated or value-predicted (0.0 if none)."""
+    stats = result.stats
+    covered = stats.eliminated_loads_retired + stats.value_predicted_loads
+    if stats.loads_renamed <= 0:
+        return 0.0
+    return covered / stats.loads_renamed
+
+
+def row_for_result(key: str, result: SimulationResult,
+                   schema_version: int) -> WarehouseRow:
+    """The warehouse row of one single-thread result entry."""
+    return WarehouseRow(
+        key=key,
+        kind="result",
+        workload=result.trace_name,
+        suite=suite_of(result.trace_name),
+        config=result.config_name,
+        cycles=result.cycles,
+        instructions=result.instructions,
+        ipc=result.ipc,
+        coverage=_coverage_of(result),
+        power=CorePowerModel().evaluate(result.power_events).total,
+        l1d_accesses=int(result.power_events.get("l1d_accesses", 0)),
+        schema=schema_version,
+    )
+
+
+def row_for_smt(key: str, smt: SmtResult, schema_version: int) -> WarehouseRow:
+    """The warehouse row of one SMT pair entry (kind ``smt``)."""
+    row = row_for_result(key, smt.result, schema_version)
+    row.kind = "smt"
+    return row
+
+
+def canonical_rows(rows: Sequence[WarehouseRow]) -> List[WarehouseRow]:
+    """Deduplicate by key and impose the canonical row order.
+
+    Entries are content-addressed, so two rows sharing a key are identical;
+    the first occurrence wins.  The order — ``(kind, config, workload, key)``
+    — is a pure function of row content, so the same logical warehouse always
+    reads back identically whatever mixture of row files and segments holds
+    it (the bit-identity anchor of the differential suite).
+    """
+    seen: Dict[str, WarehouseRow] = {}
+    for row in rows:
+        seen.setdefault(row.key, row)
+    return sorted(seen.values(),
+                  key=lambda r: (r.kind, r.config, r.workload, r.key))
+
+
+# ------------------------------------------------------------- columnar codec
+
+
+def encode_rows(rows: Sequence[WarehouseRow]) -> Dict[str, object]:
+    """Encode rows into the columnar (struct-of-arrays) segment payload."""
+    dicts = [row.to_dict() for row in rows]
+    return {
+        "warehouse_schema": WAREHOUSE_SCHEMA_VERSION,
+        "rows": len(dicts),
+        "columns": {name: [entry[name] for entry in dicts]
+                    for name in ROW_COLUMNS},
+    }
+
+
+def decode_rows(payload: Dict[str, object]) -> List[WarehouseRow]:
+    """Decode one columnar segment payload back into rows.
+
+    Raises ``ValueError`` on a schema mismatch or ragged/missing columns, so
+    callers treat a malformed segment as absent rather than half-reading it.
+    """
+    if payload.get("warehouse_schema") != WAREHOUSE_SCHEMA_VERSION:
+        raise ValueError("warehouse schema mismatch")
+    columns = payload.get("columns")
+    if not isinstance(columns, dict):
+        raise ValueError("segment carries no columns")
+    count = int(payload.get("rows", -1))
+    series: List[List[object]] = []
+    for name in ROW_COLUMNS:
+        column = columns.get(name)
+        if not isinstance(column, list) or len(column) != count:
+            raise ValueError(f"column {name!r} missing or ragged")
+        series.append(column)
+    return [WarehouseRow.from_dict(dict(zip(ROW_COLUMNS, values)))
+            for values in zip(*series)] if count else []
+
+
+# ---------------------------------------------------------------- write path
+
+
+def warehouse_enabled() -> bool:
+    """Whether warehouse appends are on (:data:`WAREHOUSE_ENV` can disable)."""
+    raw = os.environ.get(WAREHOUSE_ENV)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in {"0", "false", "no", "off"}
+
+
+def warehouse_dir(directory: Union[str, Path]) -> Path:
+    """The warehouse subdirectory of a cache directory."""
+    return Path(directory) / WAREHOUSE_SUBDIR
+
+
+class WarehouseWriter:
+    """Appends rows to one per-process JSONL file under ``.warehouse/``.
+
+    One writer per :class:`~repro.experiments.cache.ResultCache` instance;
+    the file name embeds the pid and a fresh UUID, so any number of
+    concurrent processes (the N hosts of a sharded sweep) append without
+    contention.  Each append is a single ``O_APPEND``-mode line write, so a
+    crash can tear at most the final line — which the readers skip — and
+    every line before it stays in agreement with the cache journal.  Like
+    the stats ledger, append I/O failures are absorbed: the warehouse is an
+    analytics index, never a correctness requirement.
+
+    Appends and :func:`compact_warehouse` coordinate through an advisory
+    ``flock`` per row file: the compactor locks every source before its
+    final read and unlink, and an appender that acquires the lock only to
+    find its file already folded (the path no longer names its inode)
+    rotates to a fresh file and retries — so a row can never land in the
+    window between a compactor's read and its unlink and silently vanish.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = warehouse_dir(directory)
+        self.enabled = warehouse_enabled()
+        self._path: Optional[Path] = None
+
+    def append(self, row: WarehouseRow) -> bool:
+        """Append one row; returns False when disabled or on I/O failure."""
+        if not self.enabled:
+            return False
+        line = json.dumps(row.to_dict(), sort_keys=True).encode("utf-8") + b"\n"
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            # Bounded retry: each miss means a compactor folded our file
+            # around this append, and the next round rotates to a fresh name.
+            # A folded *name* is never reused (O_EXCL on a new UUID, never
+            # O_CREAT on the old path): segments list folded names to hide
+            # leftover sources, so recreating one would hide live rows.
+            for _ in range(4):
+                if self._path is None:
+                    self._path = self.directory / (
+                        f"{os.getpid()}-{uuid.uuid4().hex}{_ROWS_SUFFIX}")
+                    fd = os.open(self._path,
+                                 os.O_WRONLY | os.O_APPEND | os.O_CREAT
+                                 | os.O_EXCL)
+                else:
+                    try:
+                        fd = os.open(self._path, os.O_WRONLY | os.O_APPEND)
+                    except FileNotFoundError:
+                        # A compactor folded and unlinked our file.
+                        self._path = None
+                        continue
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                    if os.fstat(fd).st_nlink == 0:
+                        # Unlinked between our open and our lock: this inode
+                        # was already folded; the row must go elsewhere.
+                        self._path = None
+                        continue
+                    os.write(fd, line)
+                    return True
+                finally:
+                    os.close(fd)
+            return False
+        except OSError:
+            return False
+
+
+def _write_segment(directory: Path, payload: Dict[str, object],
+                   name: str) -> Optional[Path]:
+    """Atomically write one segment file; returns None on any I/O failure.
+
+    Mirrors the stats ledger's ``_write_ledger``: temp file + rename, and the
+    temp prefix starts with a dot so a writer that dies mid-flush leaves an
+    orphan the ``repro cache verify`` scan surfaces (and ``--purge`` cleans).
+    """
+    handle = None
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=directory,
+            prefix=".wh.", suffix=".tmp", delete=False)
+        with handle:
+            json.dump(payload, handle)
+        target = directory / name
+        os.replace(handle.name, target)
+        return target
+    except OSError:
+        if handle is not None:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+        return None
+
+
+# ----------------------------------------------------------------- read path
+
+
+def _parse_row_file(path: Path) -> List[WarehouseRow]:
+    """Rows of one JSONL file; torn or malformed lines are skipped."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return []
+    return _parse_rows_text(text)
+
+
+def _parse_rows_text(text: str) -> List[WarehouseRow]:
+    """Rows of JSONL text; torn or malformed lines are skipped."""
+    rows: List[WarehouseRow] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+            if not isinstance(data, dict):
+                continue
+            rows.append(WarehouseRow.from_dict(data))
+        except (ValueError, KeyError, TypeError):
+            continue
+    return rows
+
+
+def _read_sources(directory: Path
+                  ) -> Tuple[List[Tuple[Path, List[WarehouseRow]]], List[Path]]:
+    """Parseable warehouse files as ``(live sources, superseded leftovers)``.
+
+    A compacted/rebuilt segment lists the files it ``folded``; any of those
+    still on disk (a compactor died between writing its output and unlinking
+    the sources) is excluded from the live set and returned separately, so
+    the crash window can never double-count — exactly the stats-ledger
+    contract.  Unreadable files are skipped: one bad writer must never poison
+    analytics for every host sharing the directory.
+    """
+    live: List[Tuple[Path, List[WarehouseRow]]] = []
+    superseded: Set[str] = set()
+    if not directory.is_dir():
+        return live, []
+    parsed: List[Tuple[Path, List[WarehouseRow]]] = []
+    for path in sorted(directory.glob(f"*{_SEGMENT_SUFFIX}")):
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            rows = decode_rows(payload)
+            folded = [str(name) for name in payload.get("folded", [])]
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            continue
+        superseded.update(folded)
+        parsed.append((path, rows))
+    for path in sorted(directory.glob(f"*{_ROWS_SUFFIX}")):
+        parsed.append((path, _parse_row_file(path)))
+    stale = [path for path, _ in parsed if path.name in superseded]
+    live = [(path, rows) for path, rows in parsed
+            if path.name not in superseded]
+    return live, stale
+
+
+def warehouse_present(directory: Union[str, Path]) -> bool:
+    """Whether any warehouse file exists under the cache directory."""
+    base = warehouse_dir(directory)
+    if not base.is_dir():
+        return False
+    return (next(base.glob(f"*{_SEGMENT_SUFFIX}"), None) is not None
+            or next(base.glob(f"*{_ROWS_SUFFIX}"), None) is not None)
+
+
+def read_rows(directory: Union[str, Path]) -> List[WarehouseRow]:
+    """Every live warehouse row, deduplicated and in canonical order.
+
+    Reads only warehouse files — never an object-store entry — so this is
+    the zero-decode path the acceptance criterion instruments.
+    """
+    live, _ = _read_sources(warehouse_dir(directory))
+    merged: List[WarehouseRow] = []
+    for _, rows in live:
+        merged.extend(rows)
+    return canonical_rows(merged)
+
+
+def scan_object_store(directory: Union[str, Path],
+                      schema_version: int) -> List[WarehouseRow]:
+    """Derive every row straight from the object store (full JSON decodes).
+
+    The slow path: used by ``repro warehouse rebuild`` to migrate existing
+    caches and by :func:`load_rows` as the fallback when no warehouse files
+    exist yet.  Entries with a different schema version, report entries and
+    undecodable payloads are skipped, matching what the write path would
+    have appended.
+    """
+    rows: List[WarehouseRow] = []
+    base = Path(directory)
+    if not base.is_dir():
+        return rows
+    for path in sorted(base.glob("*/*.json")):
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if not isinstance(payload, dict):
+            continue
+        if payload.get("schema") != schema_version:
+            continue
+        kind = str(payload.get("kind", "result"))
+        key = str(payload.get("key", path.stem))
+        try:
+            if kind == "result":
+                rows.append(row_for_result(
+                    key, SimulationResult.from_dict(payload["result"]),
+                    schema_version))
+            elif kind == "smt":
+                rows.append(row_for_smt(
+                    key, SmtResult.from_dict(payload["result"]),
+                    schema_version))
+        except (ValueError, KeyError, TypeError):
+            continue
+    return canonical_rows(rows)
+
+
+def load_rows(directory: Union[str, Path], schema_version: int,
+              allow_fallback: bool = True) -> List[WarehouseRow]:
+    """Rows for analytics: warehouse segments first, object store as fallback.
+
+    When any warehouse file exists the read is tabular-only (zero object
+    decodes); a cache with no warehouse — written before this layer existed,
+    or with ``REPRO_WAREHOUSE=0`` — falls back to
+    :func:`scan_object_store` unless ``allow_fallback`` is off.
+    """
+    if warehouse_present(directory):
+        return read_rows(directory)
+    if allow_fallback:
+        return scan_object_store(directory, schema_version)
+    return []
+
+
+# ------------------------------------------------------- compaction / rebuild
+
+
+def compact_warehouse(directory: Union[str, Path]) -> int:
+    """Fold every live warehouse file into one columnar segment.
+
+    Each process's cache appends its own row file, so a long-lived shared
+    directory accumulates them; ``repro cache gc`` and ``repro warehouse
+    compact`` call this to keep the file count at one.  Crash safety mirrors
+    :func:`~repro.experiments.cache.compact_persisted_stats`: concurrent
+    compactors are serialised by an ``O_EXCL`` lock (stale locks from dead
+    compactors are broken after a re-stat), the output segment lists its
+    ``folded`` sources so readers exclude leftovers from a compactor that
+    died before unlinking them, and a failed segment write leaves the
+    originals as the single source of truth.  Live *row files* are
+    additionally ``flock``-ed for the duration of the fold: an appender
+    either lands its row before the final read (it is folded) or finds its
+    file gone and rotates to a fresh one (it survives the fold) — never in
+    between.  Returns files removed.
+    """
+    base = warehouse_dir(directory)
+    if not base.is_dir():
+        return 0
+    lock = base / ".compact.lock"
+    try:
+        lock_fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        try:
+            # Stat immediately before breaking so a lock refreshed since the
+            # caller's glob is left alone.
+            if time.time() - lock.stat().st_mtime > _COMPACT_LOCK_STALE_SECONDS:
+                lock.unlink()
+        except OSError:
+            pass
+        return 0
+    except OSError:
+        return 0
+    locked: List[Tuple[Path, object]] = []
+    try:
+        # Segments are immutable once renamed into place: read them plainly.
+        superseded: Set[str] = set()
+        parsed: List[Tuple[Path, List[WarehouseRow]]] = []
+        for path in sorted(base.glob(f"*{_SEGMENT_SUFFIX}")):
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                rows = decode_rows(payload)
+                folded = [str(name) for name in payload.get("folded", [])]
+            except (OSError, ValueError, KeyError, TypeError, AttributeError):
+                continue
+            superseded.update(folded)
+            parsed.append((path, rows))
+        # Row files may have a live appender: take each file's flock before
+        # the final read, and hold it until the fold commits, so no row can
+        # land between this read and the unlink below.  Only files locked
+        # here are folded — one created after this glob keeps its rows.
+        for path in sorted(base.glob(f"*{_ROWS_SUFFIX}")):
+            try:
+                handle = path.open("r", encoding="utf-8")
+            except OSError:
+                continue
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            except OSError:
+                handle.close()
+                continue
+            locked.append((path, handle))
+            parsed.append((path, _parse_rows_text(handle.read())))
+        stale = [path for path, _ in parsed if path.name in superseded]
+        live = [(path, rows) for path, rows in parsed
+                if path.name not in superseded]
+        removed = 0
+        for path in stale:
+            # Leftovers from a compactor that died mid-fold; their rows
+            # already live in a compacted segment.
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        needs_fold = (len(live) > 1
+                      or any(path.name.endswith(_ROWS_SUFFIX)
+                             for path, _ in live))
+        if not live or not needs_fold:
+            return removed
+        merged = canonical_rows([row for _, rows in live for row in rows])
+        payload = {"pid": os.getpid(), "written_at": time.time(),
+                   "compacted": True,
+                   "folded": [path.name for path, _ in live]}
+        payload.update(encode_rows(merged))
+        target = _write_segment(base, payload,
+                                f"compacted-{uuid.uuid4().hex}{_SEGMENT_SUFFIX}")
+        if target is None:
+            # Roll back: the originals stay authoritative.
+            return removed
+        for path, _ in live:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+    finally:
+        for _, handle in locked:
+            try:
+                handle.close()
+            except OSError:
+                pass
+        os.close(lock_fd)
+        try:
+            lock.unlink()
+        except OSError:
+            pass
+
+
+def rebuild_warehouse(directory: Union[str, Path],
+                      schema_version: int) -> Tuple[int, int]:
+    """Regenerate the whole warehouse from the object store.
+
+    Decodes every current-schema result/SMT entry, writes one fresh segment
+    that lists **every** pre-existing warehouse file as folded, then unlinks
+    them — so a crash mid-rebuild leaves readers on the new segment, never
+    double-counting, and the next rebuild deletes the leftovers.  Returns
+    ``(rows written, files replaced)``.  Raises ``OSError`` when the segment
+    cannot be written: unlike appends, an explicitly requested rebuild must
+    fail loudly.
+    """
+    base = warehouse_dir(directory)
+    rows = scan_object_store(directory, schema_version)
+    existing = (sorted(base.glob(f"*{_SEGMENT_SUFFIX}"))
+                + sorted(base.glob(f"*{_ROWS_SUFFIX}"))) if base.is_dir() else []
+    payload = {"pid": os.getpid(), "written_at": time.time(),
+               "compacted": True, "rebuilt": True,
+               "folded": [path.name for path in existing]}
+    payload.update(encode_rows(rows))
+    target = _write_segment(base, payload,
+                            f"rebuilt-{uuid.uuid4().hex}{_SEGMENT_SUFFIX}")
+    if target is None:
+        raise OSError(f"could not write warehouse segment under {base}")
+    for path in existing:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+    return len(rows), len(existing)
+
+
+def clear_warehouse(directory: Union[str, Path]) -> int:
+    """Delete every warehouse file (``repro cache clear``); returns count."""
+    base = warehouse_dir(directory)
+    removed = 0
+    if not base.is_dir():
+        return removed
+    for pattern in (f"*{_SEGMENT_SUFFIX}", f"*{_ROWS_SUFFIX}"):
+        for path in base.glob(pattern):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+# ------------------------------------------------------------------ analytics
+
+
+def warehouse_stats(directory: Union[str, Path]) -> Dict[str, object]:
+    """Summary block for ``repro cache stats``: files, rows, kinds, configs.
+
+    Tabular-only (zero object-store decodes); ``present`` is False when no
+    warehouse file exists, which is how the stats path knows to say so
+    instead of printing an empty table.
+    """
+    base = warehouse_dir(directory)
+    summary: Dict[str, object] = {
+        "present": warehouse_present(directory),
+        "segments": 0, "row_files": 0, "total_bytes": 0,
+        "rows": 0, "by_kind": {}, "by_config": {},
+    }
+    if not summary["present"]:
+        return summary
+    for pattern, field in ((f"*{_SEGMENT_SUFFIX}", "segments"),
+                           (f"*{_ROWS_SUFFIX}", "row_files")):
+        for path in base.glob(pattern):
+            summary[field] += 1
+            try:
+                summary["total_bytes"] += path.stat().st_size
+            except OSError:
+                pass
+    rows = read_rows(directory)
+    summary["rows"] = len(rows)
+    for row in rows:
+        summary["by_kind"][row.kind] = summary["by_kind"].get(row.kind, 0) + 1
+        summary["by_config"][row.config] = (
+            summary["by_config"].get(row.config, 0) + 1)
+    return summary
+
+
+def verify_warehouse(directory: Union[str, Path],
+                     schema_version: int) -> Dict[str, object]:
+    """Compare warehouse keys against the object-store journal (envelope-only).
+
+    ``missing`` keys — journaled entries with no warehouse row — mean the
+    warehouse disagrees with the journal and ``repro warehouse verify`` exits
+    non-zero.  ``extra`` keys are rows whose entries were since GC-evicted:
+    the warehouse deliberately keeps history, so they fail only ``--strict``.
+    """
+    entry_keys: Set[str] = set()
+    base = Path(directory)
+    if base.is_dir():
+        for path in base.glob("*/*.json"):
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if not isinstance(payload, dict):
+                continue
+            if payload.get("schema") != schema_version:
+                continue
+            if str(payload.get("kind", "result")) not in ("result", "smt"):
+                continue
+            entry_keys.add(str(payload.get("key", path.stem)))
+    row_keys = {row.key for row in read_rows(directory)}
+    return {
+        "entries": len(entry_keys),
+        "rows": len(row_keys),
+        "missing": sorted(entry_keys - row_keys),
+        "extra": sorted(row_keys - entry_keys),
+    }
+
+
+def filter_rows(rows: Sequence[WarehouseRow],
+                kind: Optional[str] = None,
+                suite: Optional[str] = None,
+                config: Optional[str] = None,
+                workload: Optional[str] = None,
+                configs: Optional[Set[str]] = None) -> List[WarehouseRow]:
+    """Rows matching every given filter (None matches everything).
+
+    ``suite`` matches any ``+``-joined component, so ``Client`` selects the
+    SMT rows of ``Client+Server`` pairs too; ``configs`` restricts to a set
+    of config labels (how ``repro query --family`` selects a sweep family).
+    """
+    selected = []
+    for row in rows:
+        if kind is not None and row.kind != kind:
+            continue
+        if suite is not None and suite not in row.suite.split("+"):
+            continue
+        if config is not None and row.config != config:
+            continue
+        if workload is not None and row.workload != workload:
+            continue
+        if configs is not None and row.config not in configs:
+            continue
+        selected.append(row)
+    return selected
+
+
+#: Aggregation functions ``repro query --agg`` selects from.  ``geomean``
+#: and ``median`` share their implementations with every other aggregation
+#: path in the repo, so query output is bit-comparable with figure output.
+QUERY_AGGREGATES = {
+    "geomean": filtered_geomean,
+    "median": median,
+    "mean": lambda values: (sum(values) / len(values)) if values else 0.0,
+    "sum": sum,
+    "count": len,
+    "min": lambda values: min(values) if values else 0.0,
+    "max": lambda values: max(values) if values else 0.0,
+}
+
+
+def aggregate_rows(rows: Sequence[WarehouseRow], metric: str,
+                   agg: str = "geomean",
+                   group_by: Optional[str] = None) -> Dict[str, float]:
+    """Aggregate one metric column, optionally grouped by a label column.
+
+    ``metric`` must be one of :data:`QUERY_METRICS` and ``agg`` a key of
+    :data:`QUERY_AGGREGATES`; ``group_by`` is ``suite``/``config``/
+    ``workload``/``kind`` (None aggregates everything under ``"all"``).
+    Groups come back sorted, so output is deterministic.
+    """
+    if metric not in QUERY_METRICS:
+        raise ValueError(f"unknown metric {metric!r}; "
+                         f"available: {list(QUERY_METRICS)}")
+    if agg not in QUERY_AGGREGATES:
+        raise ValueError(f"unknown aggregate {agg!r}; "
+                         f"available: {sorted(QUERY_AGGREGATES)}")
+    grouped: Dict[str, List[float]] = {}
+    for row in rows:
+        group = getattr(row, group_by) if group_by else "all"
+        grouped.setdefault(group, []).append(float(getattr(row, metric)))
+    reduce = QUERY_AGGREGATES[agg]
+    return {group: float(reduce(values))
+            for group, values in sorted(grouped.items())}
+
+
+def speedup_summary(rows: Sequence[WarehouseRow],
+                    baseline: str = "baseline",
+                    group_by: Optional[str] = None
+                    ) -> Dict[str, Dict[str, float]]:
+    """Geomean speedups of every config against ``baseline`` from rows alone.
+
+    Single-thread rows are joined per ``(workload, instructions)`` — every
+    config of one sweep retires the same trace, so the pair identifies the
+    job across sweeps of different budgets — and the per-workload ratio is
+    ``baseline cycles / config cycles``, skipping degenerate zero-cycle runs
+    exactly like :meth:`ExperimentRunner.speedups`.  Returns ``{config:
+    {group: geomean}}`` with group ``GEOMEAN`` always present (the overall
+    geomean); ``group_by="suite"`` adds per-suite geomeans.
+    """
+    result_rows = [row for row in rows if row.kind == "result"]
+    base_cycles = {(row.workload, row.instructions): row.cycles
+                   for row in result_rows if row.config == baseline}
+    summary: Dict[str, Dict[str, float]] = {}
+    ratios: Dict[str, List[Tuple[str, float]]] = {}
+    for row in result_rows:
+        if row.config == baseline:
+            continue
+        base = base_cycles.get((row.workload, row.instructions))
+        if base is None or base <= 0 or row.cycles <= 0:
+            continue
+        ratios.setdefault(row.config, []).append((row.suite, base / row.cycles))
+    for config in sorted(ratios):
+        values = ratios[config]
+        block = {"GEOMEAN": filtered_geomean([v for _, v in values])}
+        if group_by == "suite":
+            by_suite: Dict[str, List[float]] = {}
+            for suite, value in values:
+                by_suite.setdefault(suite, []).append(value)
+            for suite in sorted(by_suite):
+                block[suite] = filtered_geomean(by_suite[suite])
+        summary[config] = block
+    return summary

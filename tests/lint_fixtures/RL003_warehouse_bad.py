@@ -1,0 +1,23 @@
+"""Seeded-bad fixture for RL003's warehouse gate: row drift without a bump.
+
+Relative to the good twin, the warehouse row grew an ``mpki`` column — a
+shape change that would desynchronise existing segments from fresh appends
+— while ``WAREHOUSE_SCHEMA_VERSION`` stayed put.
+"""
+
+WAREHOUSE_SCHEMA_VERSION = 1
+
+
+class WarehouseRow:  # expect[RL003]
+    def __init__(self) -> None:
+        self.workload = ""
+        self.ipc = 0.0
+        self.mpki = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "ipc": self.ipc,
+            "mpki": self.mpki,
+            "schema": WAREHOUSE_SCHEMA_VERSION,
+        }

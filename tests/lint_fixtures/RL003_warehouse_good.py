@@ -1,0 +1,23 @@
+"""Good twin for RL003's warehouse gate: row shape matches the manifest.
+
+The test materializes this file at ``src/repro/experiments/warehouse.py``
+(a module both :data:`SERIALIZED_MODULES` and the
+``warehouse_schema_version`` entry of :data:`VERSION_SOURCES` point at),
+refreshes the manifest from it, then swaps in the bad twin — which adds a
+``to_dict`` key while ``WAREHOUSE_SCHEMA_VERSION`` stays put.
+"""
+
+WAREHOUSE_SCHEMA_VERSION = 1
+
+
+class WarehouseRow:
+    def __init__(self) -> None:
+        self.workload = ""
+        self.ipc = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "ipc": self.ipc,
+            "schema": WAREHOUSE_SCHEMA_VERSION,
+        }

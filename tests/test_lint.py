@@ -270,6 +270,67 @@ def test_schema_version_bump_unlocks_drift_but_requires_refresh(tmp_path):
     assert run_lint(tmp_path, rule_ids=["RL003"]).ok
 
 
+def _materialize_warehouse(root: Path, variant: str) -> Path:
+    """Synthetic tree for the warehouse half of the RL003 gate.
+
+    The good twin lands at ``src/repro/experiments/warehouse.py`` — the path
+    both ``SERIALIZED_MODULES`` and the ``warehouse_schema_version`` entry of
+    ``VERSION_SOURCES`` guard — the manifest is refreshed from it, and then
+    the requested variant is swapped in.
+    """
+    _write(root, "src/repro/experiments/cache.py", _CACHE_STUB)
+    _write(root, "src/repro/experiments/bench.py", _BENCH_STUB)
+    target = root / "src/repro/experiments/warehouse.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copyfile(FIXTURES / "RL003_warehouse_good.py", target)
+    refresh_manifest(root)
+    shutil.copyfile(FIXTURES / f"RL003_warehouse_{variant}.py", target)
+    return root
+
+
+def test_warehouse_row_drift_without_version_bump_fails_lint(tmp_path):
+    """Satellite: a WarehouseRow key added sans WAREHOUSE_SCHEMA_VERSION bump."""
+    _materialize_warehouse(tmp_path, "bad")
+    report = run_lint(tmp_path, rule_ids=["RL003"])
+    assert not report.ok, "bad warehouse twin came back clean"
+    [finding] = report.findings
+    assert finding.path == "src/repro/experiments/warehouse.py"
+    assert "WarehouseRow" in finding.message
+    assert "drifted" in finding.message and "added ['mpki']" in finding.message
+
+
+def test_warehouse_good_twin_is_clean(tmp_path):
+    _materialize_warehouse(tmp_path, "good")
+    report = run_lint(tmp_path, rule_ids=["RL003"])
+    assert report.ok, "\n" + report.render()
+
+
+def test_warehouse_version_bump_unlocks_drift_but_requires_refresh(tmp_path):
+    """A deliberate WAREHOUSE_SCHEMA_VERSION bump follows the RL003 lifecycle."""
+    _materialize_warehouse(tmp_path, "bad")
+    target = tmp_path / "src/repro/experiments/warehouse.py"
+    target.write_text(
+        target.read_text(encoding="utf-8").replace(
+            "WAREHOUSE_SCHEMA_VERSION = 1", "WAREHOUSE_SCHEMA_VERSION = 2"),
+        encoding="utf-8")
+    bumped = run_lint(tmp_path, rule_ids=["RL003"])
+    assert [f.path for f in bumped.findings] == [MANIFEST_REL]
+    assert "--refresh-manifest" in bumped.findings[0].message
+    refresh_manifest(tmp_path)
+    assert run_lint(tmp_path, rule_ids=["RL003"]).ok
+
+
+def test_committed_manifest_pins_the_real_warehouse_row(tmp_path):
+    """The committed manifest records the live WarehouseRow column set."""
+    manifest = load_manifest(REPO_ROOT)
+    assert manifest is not None
+    assert manifest["warehouse_schema_version"] == 1
+    keys = manifest["to_dict_keys"][
+        "src/repro/experiments/warehouse.py::WarehouseRow"]
+    from repro.experiments.warehouse import ROW_COLUMNS
+    assert keys == sorted(ROW_COLUMNS)
+
+
 def test_env_registry_flags_documented_but_unread_rows(tmp_path):
     """RL004's other direction: a registry row nothing reads is doc rot."""
     _materialize(tmp_path, "RL004", "good")

@@ -1,0 +1,124 @@
+"""Golden fixture pinning ``repro query`` table formatting.
+
+Like the golden stats snapshots, a committed text fixture makes formatting
+drift in the query tables fail loudly: the synthetic warehouse below is
+fully deterministic (fixed keys, fixed counters, no live sweep), so the
+rendered overview, group-by and speedup tables must reproduce
+``tests/golden/query_tables.txt`` byte-for-byte.
+
+When a change *intentionally* alters the table format, refresh the fixture
+and review the diff:
+
+    PYTHONPATH=src python tests/test_query_golden.py --refresh
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.cache import SCHEMA_VERSION
+from repro.experiments.warehouse import WarehouseRow, WarehouseWriter
+
+#: Where the committed snapshot lives.
+GOLDEN_PATH = Path(__file__).parent / "golden" / "query_tables.txt"
+
+#: The deterministic synthetic warehouse: two configs over four workloads
+#: across two suites, with fixed counters chosen so every aggregate (geomean,
+#: median, speedup join) exercises a non-trivial value.
+_ROWS = [
+    ("baseline", "client_00", "Client", 1000, 2500),
+    ("baseline", "client_01", "Client", 1200, 2500),
+    ("baseline", "server_00", "Server", 1400, 2500),
+    ("baseline", "server_01", "Server", 1600, 2500),
+    ("constable", "client_00", "Client", 800, 2500),
+    ("constable", "client_01", "Client", 1000, 2500),
+    ("constable", "server_00", "Server", 1100, 2500),
+    ("constable", "server_01", "Server", 1300, 2500),
+]
+
+#: The argv of every pinned table, in fixture order.
+_QUERIES = (
+    ["query"],
+    ["query", "--metric", "ipc", "--group-by", "config"],
+    ["query", "--metric", "ipc", "--agg", "median", "--group-by", "suite"],
+    ["query", "--speedup-over", "baseline", "--group-by", "suite"],
+    ["query", "--kind", "result", "--suite", "Client", "--metric", "cycles",
+     "--agg", "sum", "--group-by", "workload"],
+)
+
+
+def _build_warehouse(directory: str) -> None:
+    writer = WarehouseWriter(directory)
+    for index, (config, workload, suite, cycles, instructions) in \
+            enumerate(_ROWS):
+        row = WarehouseRow(
+            key=f"{index:02d}" + "0" * 62, kind="result", workload=workload,
+            suite=suite, config=config, cycles=cycles,
+            instructions=instructions, ipc=instructions / cycles,
+            coverage=0.25 + index / 100.0, power=100.0 + 10.0 * index,
+            l1d_accesses=500 + index, schema=SCHEMA_VERSION)
+        assert writer.append(row)
+
+
+def render_tables() -> str:
+    """Every pinned query table rendered against the synthetic warehouse."""
+    sections = []
+    with tempfile.TemporaryDirectory() as tmp:
+        _build_warehouse(tmp)
+        for argv in _QUERIES:
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                code = main(argv + ["--cache-dir", tmp])
+            assert code == 0, argv
+            sections.append("$ repro " + " ".join(argv) + "\n"
+                            + buffer.getvalue())
+    return "\n".join(sections)
+
+
+def test_query_tables_match_golden_fixture():
+    assert GOLDEN_PATH.is_file(), (
+        f"missing golden fixture {GOLDEN_PATH}; generate it with "
+        f"`PYTHONPATH=src python tests/test_query_golden.py --refresh`")
+    expected = GOLDEN_PATH.read_text(encoding="utf-8")
+    actual = render_tables()
+    if actual != expected:
+        drift = [f"  expected: {exp!r}\n  actual:   {act!r}"
+                 for exp, act in zip(expected.splitlines(),
+                                     actual.splitlines()) if exp != act]
+        raise AssertionError(
+            "repro query table output drifted from tests/golden/"
+            "query_tables.txt.  If intentional, refresh with "
+            "`PYTHONPATH=src python tests/test_query_golden.py --refresh` "
+            "and review the diff.\n" + "\n".join(drift[:10]))
+
+
+def test_query_table_output_is_path_free():
+    """The fixture stays machine-independent: no tmp paths leak into it."""
+    text = render_tables()
+    assert "/tmp" not in text
+    assert "repro-cache" not in text
+
+
+def refresh() -> None:
+    """Rewrite the golden fixture from the current formatting code."""
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(render_tables(), encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--refresh", action="store_true",
+                        help="rewrite tests/golden/query_tables.txt")
+    if parser.parse_args().refresh:
+        refresh()
+    else:
+        parser.error("nothing to do; pass --refresh to rewrite the fixture")
